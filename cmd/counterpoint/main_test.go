@@ -1,0 +1,154 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+const testModel = `
+incr load.causes_walk;
+switch Pde$Status { Hit => pass; Miss => incr load.pde$_miss; };
+done;
+`
+
+func writeModel(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "model.dsl")
+	if err := os.WriteFile(path, []byte(testModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func writeObs(t *testing.T, cw, pm float64) string {
+	t.Helper()
+	set := counters.NewSet("load.causes_walk", "load.pde$_miss", "unrelated")
+	o := counters.NewObservation("test", set)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		o.Append([]float64{cw + rng.NormFloat64(), pm + rng.NormFloat64(), 5})
+	}
+	path := filepath.Join(t.TempDir(), "obs.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := counters.WriteCSV(f, o); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunModelOnly(t *testing.T) {
+	if err := run(writeModel(t), "", true, true, 0.99, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFeasible(t *testing.T) {
+	if err := run(writeModel(t), writeObs(t, 1000, 600), false, false, 0.99, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRefuted(t *testing.T) {
+	err := run(writeModel(t), writeObs(t, 600, 1000), false, false, 0.99, false)
+	if err != errRefuted {
+		t.Fatalf("want errRefuted, got %v", err)
+	}
+}
+
+func TestRunIndependentMode(t *testing.T) {
+	if err := run(writeModel(t), writeObs(t, 1000, 600), false, false, 0.95, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMissingModel(t *testing.T) {
+	if err := run("", "", false, false, 0.99, false); err == nil {
+		t.Fatal("missing model should error")
+	}
+	if err := run(filepath.Join(t.TempDir(), "nope.dsl"), "", false, false, 0.99, false); err == nil {
+		t.Fatal("unreadable model should error")
+	}
+}
+
+func TestRunBadModel(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.dsl")
+	if err := os.WriteFile(path, []byte("bogus;"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", false, false, 0.99, false); err == nil {
+		t.Fatal("bad DSL should error")
+	}
+}
+
+func TestRunDisjointCounters(t *testing.T) {
+	set := counters.NewSet("totally.unrelated")
+	o := counters.NewObservation("test", set)
+	o.Append([]float64{1})
+	path := filepath.Join(t.TempDir(), "obs.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := counters.WriteCSV(f, o); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(writeModel(t), path, false, false, 0.99, false); err == nil ||
+		!strings.Contains(err.Error(), "no counters") {
+		t.Fatalf("disjoint counters should error, got %v", err)
+	}
+}
+
+func TestRenderDot(t *testing.T) {
+	if err := renderOnly(writeModel(t), true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderFormat(t *testing.T) {
+	if err := renderOnly(writeModel(t), false); err != nil {
+		t.Fatal(err)
+	}
+	if err := renderOnly("", false); err == nil {
+		t.Fatal("missing model should error")
+	}
+}
+
+const refinedTestModel = `
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => {
+        incr load.pde$_miss;
+        switch Abort { Yes => done; No => pass; };
+    };
+};
+incr load.causes_walk;
+done;
+`
+
+func TestDiffModels(t *testing.T) {
+	a := writeModel(t)
+	bPath := filepath.Join(t.TempDir(), "refined.dsl")
+	if err := os.WriteFile(bPath, []byte(refinedTestModel), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffModels(a, bPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffModels(a, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffModels("", a); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

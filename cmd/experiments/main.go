@@ -1,0 +1,45 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] [name ...]
+//
+// With no names, every experiment runs in presentation order. Names match
+// DESIGN.md's per-experiment index (fig1a, fig1b, fig1c, fig3, fig3d,
+// fig5a, table1, fig6, table3, fig10, table5, table7, corrstats, fig9a,
+// fig9b).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink corpora and sweeps for a fast pass")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick}
+	names := flag.Args()
+	if len(names) == 0 {
+		for _, e := range experiments.All() {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		if err := experiments.Run(os.Stdout, name, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

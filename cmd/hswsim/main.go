@@ -1,0 +1,166 @@
+// Command hswsim runs a workload on the simulated Haswell MMU and writes
+// the ground-truth hardware event counter time series as CSV (optionally
+// degraded by counter multiplexing), in the format cmd/counterpoint reads.
+//
+// Usage:
+//
+//	hswsim -workload linear [flags] > samples.csv
+//
+// Flags:
+//
+//	-workload name     linear | random | burst | pointerchase | zipfian | stencil
+//	-footprint bytes   workload footprint (default 64 MiB)
+//	-stride bytes      linear stride (default 64)
+//	-burst n           burst length for -workload burst (default 8)
+//	-loadratio f       fraction of loads (default 1.0)
+//	-descending        linear: descend through the footprint
+//	-pagesize s        4k | 2m | 1g (default 4k)
+//	-samples n         sampling intervals to record (default 30)
+//	-uops n            micro-ops per interval (default 20000)
+//	-warmup n          micro-ops before recording (default one interval)
+//	-seed n            workload/simulator seed (default 1)
+//	-mux k             multiplex onto k physical counters (0 = off)
+//	-aggregate         add the walk_ref aggregate column
+//	-features list     hardware feature overrides, e.g. "nopf,nomerge,
+//	                   noepsc,pml4e,noreplay" (default: discovered set)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/counters"
+	"repro/internal/haswell"
+	"repro/internal/multiplex"
+	"repro/internal/pagetable"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "linear", "workload kind")
+		footprint = flag.Uint64("footprint", 64<<20, "footprint in bytes")
+		stride    = flag.Uint64("stride", 64, "linear stride in bytes")
+		burst     = flag.Int("burst", 8, "burst length")
+		loadRatio = flag.Float64("loadratio", 1.0, "fraction of loads")
+		desc      = flag.Bool("descending", false, "linear: descending")
+		pageSize  = flag.String("pagesize", "4k", "4k | 2m | 1g")
+		samples   = flag.Int("samples", 30, "sampling intervals")
+		uops      = flag.Int("uops", 20000, "micro-ops per interval")
+		warmup    = flag.Int("warmup", -1, "warm-up micro-ops (-1 = one interval)")
+		seed      = flag.Int64("seed", 1, "seed")
+		mux       = flag.Int("mux", 0, "physical counters to multiplex onto (0 = off)")
+		aggregate = flag.Bool("aggregate", false, "append walk_ref aggregate column")
+		features  = flag.String("features", "", "comma-separated hardware overrides")
+	)
+	flag.Parse()
+	if err := run(*workload, *footprint, *stride, *burst, *loadRatio, *desc,
+		*pageSize, *samples, *uops, *warmup, *seed, *mux, *aggregate, *features); err != nil {
+		fmt.Fprintln(os.Stderr, "hswsim:", err)
+		os.Exit(1)
+	}
+}
+
+func parsePageSize(s string) (pagetable.PageSize, error) {
+	switch strings.ToLower(s) {
+	case "4k":
+		return pagetable.Page4K, nil
+	case "2m":
+		return pagetable.Page2M, nil
+	case "1g":
+		return pagetable.Page1G, nil
+	}
+	return 0, fmt.Errorf("unknown page size %q", s)
+}
+
+func parseFeatures(cfg *haswell.Config, list string) error {
+	if list == "" {
+		return nil
+	}
+	for _, f := range strings.Split(list, ",") {
+		switch strings.TrimSpace(f) {
+		case "nopf":
+			cfg.Features.TLBPrefetch = false
+		case "noepsc":
+			cfg.Features.EarlyPSC = false
+		case "nomerge":
+			cfg.Features.WalkMerging = false
+		case "pml4e":
+			cfg.Features.PML4ECache = true
+		case "noreplay":
+			cfg.Features.WalkReplay = false
+		case "":
+		default:
+			return fmt.Errorf("unknown feature override %q", f)
+		}
+	}
+	return nil
+}
+
+func buildWorkload(kind string, footprint, stride uint64, burst int, loadRatio float64, desc bool, seed int64) (workloads.Generator, error) {
+	switch kind {
+	case "linear":
+		return workloads.NewLinear(footprint, stride, loadRatio, desc)
+	case "random":
+		return workloads.NewRandom(footprint, loadRatio, seed)
+	case "burst":
+		return workloads.NewRandomBurst(footprint, burst, loadRatio, seed)
+	case "pointerchase":
+		return workloads.NewPointerChase(footprint, seed)
+	case "zipfian":
+		return workloads.NewZipfian(footprint, 1.2, loadRatio, seed)
+	case "stencil":
+		return workloads.NewStencil(footprint, loadRatio)
+	}
+	return nil, fmt.Errorf("unknown workload %q", kind)
+}
+
+func run(workload string, footprint, stride uint64, burst int, loadRatio float64,
+	desc bool, pageSize string, samples, uops, warmup int, seed int64,
+	mux int, aggregate bool, features string) error {
+	ps, err := parsePageSize(pageSize)
+	if err != nil {
+		return err
+	}
+	cfg := haswell.DefaultConfig(ps)
+	cfg.Seed = seed
+	if err := parseFeatures(&cfg, features); err != nil {
+		return err
+	}
+	gen, err := buildWorkload(workload, footprint, stride, burst, loadRatio, desc, seed)
+	if err != nil {
+		return err
+	}
+	sim := haswell.NewSimulator(cfg)
+	if warmup < 0 {
+		warmup = uops
+	}
+	sim.Step(gen, warmup)
+	obs := sim.Observation(gen, samples, uops)
+	if mux > 0 {
+		// Record at slice granularity implicitly: treat each interval as a
+		// slice group of 1 would be meaningless, so re-sample with finer
+		// slices when multiplexing is requested.
+		const slices = 20
+		sim2 := haswell.NewSimulator(cfg)
+		gen2, err := buildWorkload(workload, footprint, stride, burst, loadRatio, desc, seed)
+		if err != nil {
+			return err
+		}
+		sim2.Step(gen2, warmup)
+		truth := sim2.Observation(gen2, samples*slices, uops/slices)
+		obs, err = multiplex.Apply(truth, multiplex.Config{
+			PhysicalCounters: mux, SlicesPerSample: slices,
+			RotationJitter: true, JitterSeed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if aggregate {
+		obs = haswell.WithAggregateWalkRef(obs)
+	}
+	return counters.WriteCSV(os.Stdout, obs)
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/haswell"
+	"repro/internal/pagetable"
+)
+
+func TestParsePageSize(t *testing.T) {
+	cases := map[string]pagetable.PageSize{"4k": pagetable.Page4K, "2M": pagetable.Page2M, "1g": pagetable.Page1G}
+	for s, want := range cases {
+		got, err := parsePageSize(s)
+		if err != nil || got != want {
+			t.Fatalf("%s: got %v, %v", s, got, err)
+		}
+	}
+	if _, err := parsePageSize("16k"); err == nil {
+		t.Fatal("bad size should error")
+	}
+}
+
+func TestParseFeatures(t *testing.T) {
+	cfg := haswell.DefaultConfig(pagetable.Page4K)
+	if err := parseFeatures(&cfg, "nopf, nomerge,pml4e"); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Features.TLBPrefetch || cfg.Features.WalkMerging || !cfg.Features.PML4ECache {
+		t.Fatalf("overrides not applied: %+v", cfg.Features)
+	}
+	if err := parseFeatures(&cfg, "wat"); err == nil {
+		t.Fatal("unknown override should error")
+	}
+	if err := parseFeatures(&cfg, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildWorkload(t *testing.T) {
+	kinds := []string{"linear", "random", "burst", "pointerchase", "zipfian", "stencil"}
+	for _, k := range kinds {
+		g, err := buildWorkload(k, 1<<20, 64, 4, 0.9, false, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", k, err)
+		}
+		if g.Name() == "" {
+			t.Fatalf("%s: empty name", k)
+		}
+	}
+	if _, err := buildWorkload("wat", 1<<20, 64, 4, 1, false, 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+}

@@ -1,0 +1,29 @@
+// Package repro is a from-scratch Go reproduction of "CounterPoint: Using
+// Hardware Event Counters to Refute and Refine Microarchitectural
+// Assumptions" (ASPLOS 2026).
+//
+// CounterPoint tests user-specified microarchitectural models — expressed
+// as μpath Decision Diagrams (μDDs) — for consistency with noisy hardware
+// event counter data, and pinpoints the violated model constraints when
+// they disagree.
+//
+// The library layout (see DESIGN.md for the full inventory):
+//
+//   - internal/dsl, internal/mudd — the modelling language and μDDs;
+//   - internal/cone, internal/exact, internal/simplex — exact model-cone
+//     geometry (double description, rational simplex LP);
+//   - internal/stats, internal/multiplex — confidence regions and counter
+//     multiplexing;
+//   - internal/core — the feasibility-testing engine;
+//   - internal/explore — guided model exploration;
+//   - internal/haswell, internal/pagetable, internal/memsim,
+//     internal/workloads — the simulated Haswell MMU substrate that stands
+//     in for the paper's silicon;
+//   - internal/experiments — regenerates every table and figure;
+//   - cmd/counterpoint, cmd/hswsim, cmd/experiments — the executables;
+//   - examples/ — runnable walkthroughs of the public API.
+//
+// The benchmarks in bench_test.go regenerate each experiment (Figures 1a–9b
+// and Tables 1–7) under the Go benchmark harness; EXPERIMENTS.md records
+// paper-vs-measured comparisons.
+package repro

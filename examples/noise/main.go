@@ -1,0 +1,93 @@
+// Noise: counter multiplexing and confidence regions (Figures 1c, 3d, 5c).
+//
+// A phased workload is measured at scheduler-slice granularity and its
+// logical counters are multiplexed onto 4 physical counters, like perf
+// does. We show (i) extrapolation noise growing with the number of active
+// counters, and (ii) correlated confidence regions staying far tighter
+// than the naive independent ones on the same noisy samples.
+//
+// Run with: go run ./examples/noise
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/haswell"
+	"repro/internal/multiplex"
+	"repro/internal/pagetable"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func main() {
+	// A workload that alternates between walk-heavy and TLB-resident
+	// phases: per-slice counter rates vary, so multiplexed extrapolation
+	// is noisy — and all counters ride the same phases, so the noise is
+	// correlated.
+	heavy, err := workloads.NewRandomBurst(512<<20, 4, 1.0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	quiet, err := workloads.NewStencil(96<<10, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen, err := workloads.NewPhased(heavy, 25000, quiet, 25000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		slices       = 20
+		samples      = 40
+		uopsPerSlice = 1000
+	)
+	sim := haswell.NewSimulator(haswell.DefaultConfig(pagetable.Page4K))
+	sim.Step(gen, 30000)
+	truth := sim.Observation(gen, samples*slices, uopsPerSlice)
+
+	fmt.Println("multiplexing noise vs active counters (4 physical counters):")
+	events := haswell.GroundTruthSet().Events()
+	for _, n := range []int{4, 8, 16, 26} {
+		set := counters.NewSet(events[:n]...)
+		noisy, err := multiplex.Apply(truth.Project(set), multiplex.Config{
+			PhysicalCounters: 4, SlicesPerSample: slices,
+			RotationJitter: true, JitterSeed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %2d active counters: mean σ/μ = %.3f\n", n, multiplex.NoiseSummary(noisy))
+	}
+
+	// Confidence regions on the full noisy observation.
+	noisy, err := multiplex.Apply(truth, multiplex.Config{
+		PhysicalCounters: 4, SlicesPerSample: slices,
+		RotationJitter: true, JitterSeed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	corr, err := stats.NewRegion(noisy, core.DefaultConfidence, stats.Correlated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ind, err := stats.NewRegion(noisy, core.DefaultConfidence, stats.Independent)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n99% confidence regions on the same noisy samples:")
+	fmt.Printf("  correlated (CounterPoint): log-volume %8.1f\n", corr.LogVolume())
+	fmt.Printf("  independent (status quo):  log-volume %8.1f\n", ind.LogVolume())
+	fmt.Println("\nper-counter 99% intervals (correlated region):")
+	for _, e := range []counters.Event{"load.causes_walk", "load.pde$_miss", "load.walk_done"} {
+		lo, hi, ok := corr.Project(e)
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-18s [%9.0f, %9.0f]\n", e, lo, hi)
+	}
+}

@@ -1,0 +1,199 @@
+package cone
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/exact"
+)
+
+// ddRay is one ray in the double-description state. tight records which
+// processed inequality indices are tight (=0) at the ray, driving the
+// combinatorial adjacency test.
+type ddRay struct {
+	v     exact.Vec
+	tight map[int]bool
+}
+
+// ddMaxRays bounds intermediate double-description growth.
+const ddMaxRays = 200000
+
+// dualExtremeRays computes the extreme rays of the dual cone
+//
+//	D = { a ∈ ℝ^d : a·y ≤ 0 for every y in ys }
+//
+// with the double description (Motzkin) method over exact rationals.
+//
+// Preconditions: the ys span ℝ^d (guaranteed by the caller, which works in
+// row-space coordinates), so D is pointed and the final state carries no
+// lineality. The returned rays are GCD-normalised and minimal (each verified
+// non-redundant by LP), and are exactly the facet normals of cone(ys).
+func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
+	if d == 0 {
+		return nil, nil
+	}
+
+	// State: lineality basis L and rays R, all satisfying the inequalities
+	// processed so far.
+	var lineality []exact.Vec
+	for i := 0; i < d; i++ {
+		l := exact.NewVec(d)
+		l[i].SetInt64(1)
+		lineality = append(lineality, l)
+	}
+	var rays []ddRay
+
+	for mi, y := range ys {
+		// 1. If some lineality direction violates the hyperplane, pivot it
+		// out: it becomes the unique ray strictly inside the half-space and
+		// everything else is projected onto the hyperplane a·y = 0.
+		pivot := -1
+		for li, l := range lineality {
+			if l.Dot(y).Sign() != 0 {
+				pivot = li
+				break
+			}
+		}
+		if pivot >= 0 {
+			l0 := lineality[pivot]
+			lineality = append(lineality[:pivot], lineality[pivot+1:]...)
+			dot0 := l0.Dot(y)
+			// Scale l0 so that l0·y = -1 (strictly feasible direction).
+			scale := new(big.Rat).Inv(dot0)
+			scale.Neg(scale)
+			l0 = l0.Scale(scale)
+			// Project remaining lineality and rays onto the hyperplane:
+			// x' = x + (x·y)·l0  ⇒  x'·y = x·y + (x·y)(l0·y) = 0.
+			for i, l := range lineality {
+				proj := l.Clone()
+				proj.AddScaled(l.Dot(y), l0)
+				lineality[i] = proj
+			}
+			for i := range rays {
+				proj := rays[i].v.Clone()
+				proj.AddScaled(rays[i].v.Dot(y), l0)
+				rays[i].v = proj.NormalizeIntegral()
+				rays[i].tight[mi] = true
+			}
+			// l0 came from the lineality space, so it satisfies every
+			// previously processed constraint with equality and the new one
+			// strictly.
+			l0tight := make(map[int]bool, mi)
+			for k := 0; k < mi; k++ {
+				l0tight[k] = true
+			}
+			rays = append(rays, ddRay{v: l0.NormalizeIntegral(), tight: l0tight})
+			continue
+		}
+
+		// 2. Lineality is entirely on the hyperplane; split rays by sign.
+		var neg, zero, pos []ddRay
+		for _, r := range rays {
+			switch r.v.Dot(y).Sign() {
+			case -1:
+				neg = append(neg, r)
+			case 0:
+				r.tight[mi] = true
+				zero = append(zero, r)
+			case 1:
+				pos = append(pos, r)
+			}
+		}
+		if len(pos) == 0 {
+			rays = dedupeRays(append(neg, zero...))
+			continue
+		}
+		next := append([]ddRay{}, neg...)
+		next = append(next, zero...)
+		// Combine adjacent (pos, neg) pairs into new hyperplane rays.
+		for _, p := range pos {
+			for _, n := range neg {
+				if !adjacent(p, n, ys, d, len(lineality)) {
+					continue
+				}
+				// w = (p·y)·n − (n·y)·p lies on the hyperplane and in the cone.
+				pd := p.v.Dot(y)
+				nd := n.v.Dot(y)
+				w := n.v.Scale(pd)
+				negnd := new(big.Rat).Neg(nd)
+				w.AddScaled(negnd, p.v)
+				w = w.NormalizeIntegral()
+				if w.IsZero() {
+					continue
+				}
+				t := map[int]bool{mi: true}
+				for k := range p.tight {
+					if n.tight[k] {
+						t[k] = true
+					}
+				}
+				next = append(next, ddRay{v: w, tight: t})
+				if len(next) > ddMaxRays {
+					return nil, fmt.Errorf("cone: double description exceeded %d rays", ddMaxRays)
+				}
+			}
+		}
+		rays = dedupeRays(next)
+	}
+
+	if len(lineality) != 0 {
+		return nil, fmt.Errorf("cone: dual cone not pointed (generators do not span, internal error)")
+	}
+
+	// Final minimality pass: drop any ray in the conic hull of the others.
+	vecs := make([]exact.Vec, len(rays))
+	for i, r := range rays {
+		vecs[i] = r.v
+	}
+	var out []exact.Vec
+	for i, v := range vecs {
+		others := make([]exact.Vec, 0, len(vecs)-1+len(out))
+		others = append(others, out...)
+		others = append(others, vecs[i+1:]...)
+		if !inConicHull(v, others) {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// adjacent implements the algebraic (rank-based) adjacency test: extreme
+// rays p and n of a cone with lineality dimension lin in ℝ^d are adjacent
+// iff the constraints tight at both have rank ≥ d − lin − 2. The rank test
+// never rejects a truly adjacent pair even when the working set carries
+// redundant rays, so no facet is ever lost; spurious combinations are
+// removed by the final LP minimality pass.
+func adjacent(p, n ddRay, ys []exact.Vec, d, lin int) bool {
+	need := d - lin - 2
+	if need <= 0 {
+		return true
+	}
+	var rows []exact.Vec
+	for k := range p.tight {
+		if n.tight[k] {
+			rows = append(rows, ys[k])
+		}
+	}
+	if len(rows) < need {
+		return false
+	}
+	return len(exact.RowSpaceBasis(rows)) >= need
+}
+
+func dedupeRays(rs []ddRay) []ddRay {
+	seen := map[string]int{}
+	out := make([]ddRay, 0, len(rs))
+	for _, r := range rs {
+		k := r.v.Key()
+		if i, dup := seen[k]; dup {
+			// Merge tight sets (same geometric ray discovered twice).
+			for idx := range r.tight {
+				out[i].tight[idx] = true
+			}
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, r)
+	}
+	return out
+}

@@ -1,0 +1,319 @@
+// Package core is CounterPoint's engine: it ties μDDs (package mudd), model
+// cones (package cone), counter confidence regions (package stats) and the
+// exact LP solver (package simplex) into the workflow of Figure 2:
+//
+//	DSL → μDD → model cone → feasibility testing against confidence regions
+//
+// A Model wraps a μDD together with the counter set under analysis. Testing
+// an observation builds its confidence region, then solves the Appendix A
+// linear program: non-negative flow variables f(p) for every μpath
+// signature, the counter-flow equation v = Σ S(p)·f(p) substituted into the
+// per-principal-axis box constraints |eᵢ·(v − Ȳ)| ≤ √(λᵢχ²). If the LP is
+// infeasible the observation violates at least one model constraint at the
+// chosen confidence level, and the violated constraints are identified by
+// testing each deduced half-space against the region.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"repro/internal/cone"
+	"repro/internal/counters"
+	"repro/internal/dsl"
+	"repro/internal/exact"
+	"repro/internal/mudd"
+	"repro/internal/simplex"
+	"repro/internal/stats"
+)
+
+// DefaultConfidence is the confidence level used throughout the paper.
+const DefaultConfidence = 0.99
+
+// Model is a microarchitectural model under test: a μDD restricted to a
+// counter set of interest.
+type Model struct {
+	Name    string
+	Diagram *mudd.Diagram
+	Set     *counters.Set
+
+	numPaths int
+	kcone    *cone.Cone
+}
+
+// NewModel builds a Model from a validated μDD. set chooses the HECs under
+// analysis; counter nodes outside set are ignored (unprogrammed counters do
+// not count). If set is nil the diagram's own counters are used.
+func NewModel(name string, d *mudd.Diagram, set *counters.Set) (*Model, error) {
+	if set == nil {
+		set = d.Counters()
+	}
+	paths, err := d.Paths()
+	if err != nil {
+		return nil, fmt.Errorf("core: model %q: %w", name, err)
+	}
+	sigs := make([]exact.Vec, len(paths))
+	for i, p := range paths {
+		sigs[i] = d.Signature(p, set)
+	}
+	return &Model{
+		Name:     name,
+		Diagram:  d,
+		Set:      set,
+		numPaths: len(paths),
+		kcone:    cone.New(set, sigs),
+	}, nil
+}
+
+// ModelFromDSL compiles DSL source into a Model.
+func ModelFromDSL(name, src string, set *counters.Set) (*Model, error) {
+	d, err := dsl.Compile(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return NewModel(name, d, set)
+}
+
+// NumPaths returns the number of μpaths the μDD encodes.
+func (m *Model) NumPaths() int { return m.numPaths }
+
+// Cone returns the model cone.
+func (m *Model) Cone() *cone.Cone { return m.kcone }
+
+// Constraints returns the complete set of model constraints (the cone's
+// H-representation), deduced on first use and cached.
+func (m *Model) Constraints() (*cone.HRep, error) {
+	return m.kcone.Constraints()
+}
+
+// Restrict returns a copy of the model analysed over a sub- (or different)
+// counter set, re-deriving signatures and the cone. Used by the Figure 1b /
+// Figure 9 counter-group sweeps.
+func (m *Model) Restrict(set *counters.Set) (*Model, error) {
+	return NewModel(m.Name, m.Diagram, set)
+}
+
+// Verdict is the outcome of testing one observation against one model.
+type Verdict struct {
+	Model       string
+	Observation string
+	Feasible    bool
+	// Violations lists the deduced model constraints whose half-spaces the
+	// confidence region provably misses. Populated only when infeasible and
+	// constraint deduction was requested.
+	Violations []cone.Constraint
+	// Region is the confidence region the verdict was computed against.
+	Region *stats.Region
+}
+
+// TestRegion decides whether the confidence region intersects the model
+// cone (Appendix A LP). When infeasible and identifyViolations is true, the
+// model constraints are deduced and each is tested against the region.
+func (m *Model) TestRegion(r *stats.Region, identifyViolations bool) (*Verdict, error) {
+	if !r.Set.Equal(m.Set) {
+		return nil, fmt.Errorf("core: region counter set %v does not match model set %v", r.Set, m.Set)
+	}
+	v := &Verdict{Model: m.Name, Region: r}
+	v.Feasible = m.regionIntersectsCone(r)
+	if !v.Feasible && identifyViolations {
+		h, err := m.Constraints()
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range h.All() {
+			if RegionViolates(r, k) {
+				v.Violations = append(v.Violations, k)
+			}
+		}
+	}
+	return v, nil
+}
+
+// TestObservation builds the observation's confidence region at the given
+// confidence level and noise mode, then calls TestRegion.
+func (m *Model) TestObservation(o *counters.Observation, confidence float64, mode stats.NoiseMode, identifyViolations bool) (*Verdict, error) {
+	proj := o
+	if !o.Set.Equal(m.Set) {
+		proj = o.Project(m.Set)
+	}
+	r, err := stats.NewRegion(proj, confidence, mode)
+	if err != nil {
+		return nil, err
+	}
+	verdict, err := m.TestRegion(r, identifyViolations)
+	if err != nil {
+		return nil, err
+	}
+	verdict.Observation = o.Label
+	return verdict, nil
+}
+
+// regionIntersectsCone solves the Appendix A LP with the counter-flow
+// equation substituted in: variables are the flows f ≥ 0 down each cone
+// generator, constrained so that v = G·f lies inside every principal-axis
+// slab of the region. Counter non-negativity is implied (G ≥ 0, f ≥ 0).
+func (m *Model) regionIntersectsCone(r *stats.Region) bool {
+	gens := m.kcone.Generators
+	p := simplex.NewProblem(len(gens))
+	n := m.Set.Len()
+	for i, axis := range r.Axes {
+		// e·(G f) ≤ e·Ȳ + h   and   e·(G f) ≥ e·Ȳ − h
+		coeffs := exact.NewVec(len(gens))
+		for j, g := range gens {
+			dot := 0.0
+			for k := 0; k < n; k++ {
+				gf, _ := g[k].Float64()
+				dot += axis[k] * gf
+			}
+			coeffs[j] = ratFromFloat(dot)
+		}
+		eDotMean := 0.0
+		for k := 0; k < n; k++ {
+			eDotMean += axis[k] * r.Mean[k]
+		}
+		// Quantise the slab bounds outward onto a coarse dyadic grid: the
+		// box only grows (never flips a verdict to infeasible), and the LP
+		// works with denominator-256 rationals instead of 2^52 ones.
+		hi := ratQuantize(eDotMean+r.HalfWidths[i], true)
+		lo := ratQuantize(eDotMean-r.HalfWidths[i], false)
+		p.AddConstraint(coeffs, simplex.LE, hi)
+		p.AddConstraint(coeffs, simplex.GE, lo)
+	}
+	return simplex.Solve(p).Status == simplex.Optimal
+}
+
+// RegionViolates reports whether the confidence region lies entirely
+// outside the constraint's feasible half-space (or hyperplane), using the
+// closed-form extrema of a linear function over the principal-axis box:
+//
+//	min/max over box of a·v = a·Ȳ ∓ Σᵢ |a·eᵢ|·hᵢ
+func RegionViolates(r *stats.Region, k cone.Constraint) bool {
+	n := len(r.Mean)
+	af := make([]float64, n)
+	for i, c := range k.Coeffs {
+		af[i], _ = c.Float64()
+	}
+	center := 0.0
+	for i := 0; i < n; i++ {
+		center += af[i] * r.Mean[i]
+	}
+	spread := 0.0
+	for i, axis := range r.Axes {
+		dot := 0.0
+		for j := 0; j < n; j++ {
+			dot += af[j] * axis[j]
+		}
+		if dot < 0 {
+			dot = -dot
+		}
+		spread += dot * r.HalfWidths[i]
+	}
+	min, max := center-spread, center+spread
+	if k.Rel == cone.EQZero {
+		return min > 0 || max < 0
+	}
+	return min > 0 // no point of the box satisfies a·v ≤ 0
+}
+
+func ratFromFloat(f float64) *big.Rat {
+	r := new(big.Rat)
+	r.SetFloat64(f)
+	return r
+}
+
+// ratQuantize rounds f outward (up if ceil, down otherwise) to a multiple
+// of 1/256.
+func ratQuantize(f float64, ceil bool) *big.Rat {
+	scaled := f * 256
+	var n int64
+	if ceil {
+		n = int64(math.Ceil(scaled))
+	} else {
+		n = int64(math.Floor(scaled))
+	}
+	return big.NewRat(n, 256)
+}
+
+// CorpusResult summarises evaluating one model over a corpus.
+type CorpusResult struct {
+	Model      string
+	Infeasible int
+	Total      int
+	// ViolatedConstraints aggregates, across all infeasible observations,
+	// how many observations violated each constraint (keyed by its string).
+	ViolatedConstraints map[string]int
+	Verdicts            []*Verdict
+}
+
+// EvaluateCorpus tests every observation against the model in parallel
+// (feasibility testing is embarrassingly parallel — paper §7.2) and
+// aggregates infeasibility counts and violated constraints.
+func EvaluateCorpus(m *Model, corpus []*counters.Observation, confidence float64, mode stats.NoiseMode, identifyViolations bool) (*CorpusResult, error) {
+	if identifyViolations {
+		// Deduce constraints once, up front, so workers share the cache.
+		if _, err := m.Constraints(); err != nil {
+			return nil, err
+		}
+	}
+	res := &CorpusResult{
+		Model:               m.Name,
+		Total:               len(corpus),
+		ViolatedConstraints: map[string]int{},
+		Verdicts:            make([]*Verdict, len(corpus)),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(corpus) {
+		workers = len(corpus)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		fail error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if fail != nil || next >= len(corpus) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				v, err := m.TestObservation(corpus[i], confidence, mode, identifyViolations)
+				mu.Lock()
+				if err != nil {
+					if fail == nil {
+						fail = err
+					}
+				} else {
+					res.Verdicts[i] = v
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if fail != nil {
+		return nil, fail
+	}
+	for _, v := range res.Verdicts {
+		if !v.Feasible {
+			res.Infeasible++
+			for _, k := range v.Violations {
+				res.ViolatedConstraints[k.String()]++
+			}
+		}
+	}
+	return res, nil
+}

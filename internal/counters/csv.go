@@ -1,0 +1,70 @@
+package counters
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes an observation as CSV with a header row of event names.
+// Each subsequent row is one sample interval.
+func WriteCSV(w io.Writer, o *Observation) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, o.Set.Len())
+	for i, e := range o.Set.Events() {
+		header[i] = string(e)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("counters: write header: %w", err)
+	}
+	row := make([]string, o.Set.Len())
+	for _, sample := range o.Samples {
+		for i, v := range sample {
+			row[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("counters: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses an observation written by WriteCSV. The label is supplied
+// by the caller since CSV carries no metadata.
+func ReadCSV(r io.Reader, label string) (*Observation, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("counters: read header: %w", err)
+	}
+	events := make([]Event, len(header))
+	for i, h := range header {
+		events[i] = Event(h)
+	}
+	set := NewSet(events...)
+	if set.Len() != len(header) {
+		return nil, fmt.Errorf("counters: duplicate event in CSV header")
+	}
+	o := NewObservation(label, set)
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("counters: read row: %w", err)
+		}
+		row := make([]float64, len(rec))
+		for i, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("counters: line %d column %d: %w", line, i+1, err)
+			}
+			row[i] = v
+		}
+		o.Append(row)
+	}
+	return o, nil
+}

@@ -1,0 +1,96 @@
+package dsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed program back to canonical DSL source: four-space
+// indentation, one statement per line, trailing semicolons everywhere.
+// Format(Parse(src)) is a fixpoint: formatting formatted source returns it
+// unchanged, and the formatted program parses to the same AST shape.
+func Format(p *Program) string {
+	var b strings.Builder
+	if len(p.Uops) > 0 {
+		for i, u := range p.Uops {
+			if i > 0 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "uop %s {\n", u.Name)
+			formatStmts(&b, u.Body, 1)
+			b.WriteString("}\n")
+		}
+		return b.String()
+	}
+	formatStmts(&b, p.Stmts, 0)
+	return b.String()
+}
+
+// FormatSource parses and reformats DSL source.
+func FormatSource(src string) (string, error) {
+	p, err := Parse(src)
+	if err != nil {
+		return "", err
+	}
+	return Format(p), nil
+}
+
+func formatStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		formatStmt(b, s, depth)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("    ", depth))
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch t := s.(type) {
+	case *IncrStmt:
+		fmt.Fprintf(b, "incr %s;\n", t.Counter)
+	case *DoStmt:
+		fmt.Fprintf(b, "do %s;\n", t.Event)
+	case *PassStmt:
+		b.WriteString("pass;\n")
+	case *DoneStmt:
+		b.WriteString("done;\n")
+	case *SwitchStmt:
+		fmt.Fprintf(b, "switch %s {\n", t.Property)
+		for _, c := range t.Cases {
+			indent(b, depth+1)
+			if len(c.Body) == 1 && !isSwitch(c.Body[0]) {
+				fmt.Fprintf(b, "%s => %s\n", c.Value, inlineStmt(c.Body[0]))
+				continue
+			}
+			fmt.Fprintf(b, "%s => {\n", c.Value)
+			formatStmts(b, c.Body, depth+2)
+			indent(b, depth+1)
+			b.WriteString("};\n")
+		}
+		indent(b, depth)
+		b.WriteString("};\n")
+	default:
+		b.WriteString("/* unknown statement */\n")
+	}
+}
+
+func isSwitch(s Stmt) bool {
+	_, ok := s.(*SwitchStmt)
+	return ok
+}
+
+func inlineStmt(s Stmt) string {
+	switch t := s.(type) {
+	case *IncrStmt:
+		return fmt.Sprintf("incr %s;", t.Counter)
+	case *DoStmt:
+		return fmt.Sprintf("do %s;", t.Event)
+	case *PassStmt:
+		return "pass;"
+	case *DoneStmt:
+		return "done;"
+	}
+	return "pass;"
+}

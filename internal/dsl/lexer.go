@@ -1,0 +1,151 @@
+// Package dsl implements CounterPoint's domain-specific language for
+// specifying μpath Decision Diagrams (paper §6, Figure 2).
+//
+// The language is deliberately tiny — "the DSL does not support functions,
+// loops, or variables beyond μpath properties":
+//
+//	incr load.causes_walk;      // counter node
+//	do   LookupPde$;            // standard event node
+//	switch Pde$Status {         // decision node
+//	    Hit  => pass;           // no-op
+//	    Miss => incr load.pde$_miss;
+//	};
+//	done;                       // END node
+//
+// Case bodies may be single statements or { blocks }. A `done` inside a
+// case terminates that μpath early; control otherwise rejoins the statement
+// after the switch. Falling off the end of a program is an implicit `done`.
+//
+// A file may instead define one diagram per micro-op type:
+//
+//	uop Load  { ... }
+//	uop Store { ... }
+//
+// which compiles to the merged μDD of the per-type diagrams.
+package dsl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLBrace
+	tokRBrace
+	tokSemi
+	tokArrow // =>
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokSemi:
+		return "';'"
+	case tokArrow:
+		return "'=>'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+// Error is a DSL syntax or semantic error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("dsl: line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// isIdentRune permits the characters of HEC names like "load.pde$_miss"
+// and property names like "Pde$Status".
+func isIdentRune(r rune, first bool) bool {
+	if unicode.IsLetter(r) || r == '_' || r == '$' {
+		return true
+	}
+	if first {
+		return false
+	}
+	return unicode.IsDigit(r) || r == '.' || r == '+'
+}
+
+// lex tokenises src. Comments run from "//" or "#" to end of line.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line, col := 1, 1
+	rs := []rune(src)
+	i := 0
+	advance := func() {
+		if rs[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+		i++
+	}
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == ' ' || r == '\t' || r == '\r' || r == '\n':
+			advance()
+		case r == '#' || (r == '/' && i+1 < len(rs) && rs[i+1] == '/'):
+			for i < len(rs) && rs[i] != '\n' {
+				advance()
+			}
+		case r == '{':
+			toks = append(toks, token{tokLBrace, "{", line, col})
+			advance()
+		case r == '}':
+			toks = append(toks, token{tokRBrace, "}", line, col})
+			advance()
+		case r == ';':
+			toks = append(toks, token{tokSemi, ";", line, col})
+			advance()
+		case r == '=':
+			if i+1 < len(rs) && rs[i+1] == '>' {
+				toks = append(toks, token{tokArrow, "=>", line, col})
+				advance()
+				advance()
+			} else {
+				return nil, errAt(line, col, "unexpected '='; did you mean '=>'?")
+			}
+		case isIdentRune(r, true):
+			startLine, startCol := line, col
+			var b strings.Builder
+			for i < len(rs) && isIdentRune(rs[i], false) {
+				b.WriteRune(rs[i])
+				advance()
+			}
+			toks = append(toks, token{tokIdent, b.String(), startLine, startCol})
+		default:
+			return nil, errAt(line, col, "unexpected character %q", string(r))
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line, col})
+	return toks, nil
+}

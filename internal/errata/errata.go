@@ -1,0 +1,111 @@
+// Package errata models published hardware event counter errata and their
+// effect on CounterPoint analyses.
+//
+// The paper's methodology footnote (§7.1, footnote 9) is easy to miss but
+// load-bearing: "We ensured that all of our HEC measurements were
+// unaffected by any published HEC errata. For errata that are triggered
+// when SMT is enabled (e.g., HSD29/HSM30 affecting mem_uops_retired), we
+// addressed this by disabling SMT in the BIOS." An analysis framework that
+// treats counter values as ground truth inherits every erratum of the
+// machine it runs on: an overcounting counter can make a *correct* model
+// appear refuted.
+//
+// This package reproduces that failure mode: Apply corrupts an observation
+// the way a documented erratum would, so tests and experiments can show
+// that (i) erratum-affected measurements refute the true model, and (ii)
+// the paper's mitigation (disable SMT) restores sound verdicts.
+package errata
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/counters"
+)
+
+// Erratum describes one documented counter erratum.
+type Erratum struct {
+	// ID is the vendor identifier, e.g. "HSD29".
+	ID string
+	// Summary describes the misbehaviour.
+	Summary string
+	// RequiresSMT: the erratum only triggers with hyperthreading enabled.
+	RequiresSMT bool
+	// Affected reports whether the event is miscounted.
+	Affected func(e counters.Event) bool
+	// Distort maps a true per-interval value of event e to the miscounted
+	// value.
+	Distort func(e counters.Event, trueValue float64) float64
+}
+
+// Haswell returns the modelled Haswell errata.
+func Haswell() []Erratum {
+	return []Erratum{
+		{
+			// HSD29/HSM30: MEM_UOPS_RETIRED events may overcount when SMT
+			// is enabled (counting replayed micro-ops and micro-ops of the
+			// sibling thread). Replays concentrate on TLB-missing accesses,
+			// so the stlb_miss_* sub-events overcount harder than all_*,
+			// skewing their ratio — which is what poisons model constraints
+			// like ret_stlb_miss ≤ ret.
+			ID:          "HSD29",
+			Summary:     "mem_uops_retired.* may overcount with SMT enabled",
+			RequiresSMT: true,
+			Affected: func(e counters.Event) bool {
+				// Table 2: the Ret group's full event names are prefixed by
+				// mem_uops_retired.
+				return strings.HasSuffix(string(e), counters.Ret) ||
+					strings.HasSuffix(string(e), counters.RetSTLBMiss)
+			},
+			// Deterministic multiplicative overcounts; the magnitudes are
+			// representative, not measured.
+			Distort: func(e counters.Event, v float64) float64 {
+				if strings.HasSuffix(string(e), counters.RetSTLBMiss) {
+					return v * 1.25
+				}
+				return v * 1.05
+			},
+		},
+	}
+}
+
+// MachineConfig captures the measurement-machine settings the paper's
+// methodology controls for.
+type MachineConfig struct {
+	// SMTEnabled: hyperthreading on (the paper's mitigation is to disable
+	// it in the BIOS).
+	SMTEnabled bool
+}
+
+// Apply returns a copy of the observation with every triggered erratum's
+// distortion applied, and the list of errata that fired.
+func Apply(o *counters.Observation, machine MachineConfig, errata []Erratum) (*counters.Observation, []string) {
+	out := counters.NewObservation(o.Label, o.Set)
+	var fired []string
+	active := make([]Erratum, 0, len(errata))
+	for _, e := range errata {
+		if e.RequiresSMT && !machine.SMTEnabled {
+			continue
+		}
+		active = append(active, e)
+		fired = append(fired, e.ID)
+	}
+	for _, row := range o.Samples {
+		distorted := make([]float64, len(row))
+		copy(distorted, row)
+		for i, ev := range o.Set.Events() {
+			for _, e := range active {
+				if e.Affected(ev) {
+					distorted[i] = e.Distort(ev, distorted[i])
+				}
+			}
+		}
+		out.Append(distorted)
+	}
+	if len(fired) == 0 {
+		out.Label = o.Label
+	} else {
+		out.Label = fmt.Sprintf("%s+errata(%s)", o.Label, strings.Join(fired, ","))
+	}
+	return out, fired
+}

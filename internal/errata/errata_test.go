@@ -1,0 +1,84 @@
+package errata
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/haswell"
+	"repro/internal/pagetable"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+func TestApplySMTGating(t *testing.T) {
+	set := counters.NewSet("load.ret", "load.causes_walk")
+	o := counters.NewObservation("w", set)
+	o.Append([]float64{100, 50})
+
+	// SMT off: nothing fires.
+	clean, fired := Apply(o, MachineConfig{SMTEnabled: false}, Haswell())
+	if len(fired) != 0 {
+		t.Fatalf("no errata should fire with SMT off: %v", fired)
+	}
+	if clean.Samples[0][0] != 100 {
+		t.Fatalf("values must be untouched: %v", clean.Samples[0])
+	}
+
+	// SMT on: HSD29 inflates the retirement counters only.
+	dirty, fired := Apply(o, MachineConfig{SMTEnabled: true}, Haswell())
+	if len(fired) != 1 || fired[0] != "HSD29" {
+		t.Fatalf("HSD29 should fire: %v", fired)
+	}
+	if dirty.Samples[0][0] <= 100 {
+		t.Fatal("load.ret should be inflated")
+	}
+	if dirty.Samples[0][1] != 50 {
+		t.Fatal("causes_walk must be untouched")
+	}
+	if !strings.Contains(dirty.Label, "HSD29") {
+		t.Fatalf("label should record fired errata: %q", dirty.Label)
+	}
+}
+
+// TestErratumRefutesTrueModel reproduces the methodology hazard the paper
+// guards against: with SMT-triggered overcounting on mem_uops_retired, the
+// *correct* model of the hardware is falsely refuted; disabling SMT (the
+// paper's BIOS mitigation) restores the sound verdict.
+func TestErratumRefutesTrueModel(t *testing.T) {
+	sim := haswell.NewSimulator(haswell.DefaultConfig(pagetable.Page4K))
+	gen, err := workloads.NewRandom(64<<20, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Step(gen, 20000)
+	truth := haswell.WithAggregateWalkRef(sim.Observation(gen, 16, 10000))
+
+	set := haswell.AnalysisSet()
+	m, err := haswell.BuildModel("true-model", haswell.DiscoveredModelFeatures(), set)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	smtOff, _ := Apply(truth, MachineConfig{SMTEnabled: false}, Haswell())
+	v, err := m.TestObservation(smtOff, core.DefaultConfidence, stats.Correlated, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Feasible {
+		t.Fatal("clean measurement must be consistent with the true model")
+	}
+
+	smtOn, fired := Apply(truth, MachineConfig{SMTEnabled: true}, Haswell())
+	if len(fired) == 0 {
+		t.Fatal("erratum should fire with SMT on")
+	}
+	v2, err := m.TestObservation(smtOn, core.DefaultConfidence, stats.Correlated, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Feasible {
+		t.Fatal("erratum-corrupted measurement should falsely refute the true model")
+	}
+}

@@ -1,0 +1,128 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md). Each experiment
+// prints the same rows/series the paper reports; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/haswell"
+)
+
+// Options tunes experiment scale.
+type Options struct {
+	// Quick shrinks corpora and sweeps for test runs.
+	Quick bool
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(w io.Writer, opts Options) error
+}
+
+var registry = []Experiment{
+	{"fig1a", "Figure 1a: HEC count scaling 2009-2019", runFig1a},
+	{"fig1b", "Figure 1b: model constraints vs counter groups", runFig1b},
+	{"fig1c", "Figure 1c: multiplexing noise vs active HECs", runFig1c},
+	{"fig3", "Figure 3a-c: counter choice determines violation detection", runFig3},
+	{"fig3d", "Figure 3d: correlated vs independent confidence regions", runFig3d},
+	{"fig5a", "Figure 5a: model cone from μpath counter signatures", runFig5a},
+	{"table1", "Table 1: representative Haswell MMU model constraints", runTable1},
+	{"fig6", "Figure 6: guided refinement removes a violation", runFig6},
+	{"table3", "Table 3: initial model search m0-m11", runTable3},
+	{"fig10", "Figure 10: discovery/elimination search graph", runFig10},
+	{"table5", "Table 5: TLB prefetch trigger conditions t0-t17", runTable5},
+	{"table7", "Table 7: translation-request abort points a0-a3", runTable7},
+	{"corrstats", "Section 7.1: correlation statistics and detection gains", runCorrStats},
+	{"fig9a", "Figure 9a: feasibility-testing time vs counter groups", runFig9a},
+	{"fig9b", "Figure 9b: constraint-deduction time vs counter groups", runFig9b},
+}
+
+// All returns every experiment in presentation order.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName finds an experiment.
+func ByName(name string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the named experiment with a header.
+func Run(w io.Writer, name string, opts Options) error {
+	e, ok := ByName(name)
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	fmt.Fprintf(w, "== %s ==\n", e.Title)
+	if err := e.Run(w, opts); err != nil {
+		return fmt.Errorf("experiments: %s: %w", e.Name, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// corpusCache shares the simulated corpus across experiments in one
+// process.
+var (
+	corpusOnce  sync.Once
+	corpusQuick bool
+	corpusObs   []*counters.Observation
+	corpusErr   error
+)
+
+func corpus(opts Options) ([]*counters.Observation, error) {
+	corpusOnce.Do(func() {
+		spec := haswell.DefaultCorpusSpec()
+		if opts.Quick {
+			spec = haswell.QuickCorpusSpec()
+		}
+		corpusQuick = opts.Quick
+		corpusObs, corpusErr = haswell.BuildCorpus(spec)
+	})
+	return corpusObs, corpusErr
+}
+
+// analysisSteps returns the cumulative counter-group steps used on the
+// x-axes of Figures 1b, 1c and 9: Ret | 4, L2TLB | 10, Walk | 22,
+// Refs | 23 (aggregate walk_ref), and optionally MMU$ | 29.
+func analysisSteps(includeMMUC bool) []counters.GroupStep {
+	reg := counters.NewHaswellRegistry(false)
+	var steps []counters.GroupStep
+	var acc []counters.Event
+	for _, g := range []counters.Group{counters.GroupRet, counters.GroupSTLB, counters.GroupWalk} {
+		acc = append(acc, reg.GroupEvents(g)...)
+		steps = append(steps, counters.GroupStep{Group: g, Set: counters.NewSet(acc...)})
+	}
+	acc = append(acc, haswell.AggregateWalkRef)
+	steps = append(steps, counters.GroupStep{Group: counters.GroupRefs, Set: counters.NewSet(acc...)})
+	if includeMMUC {
+		mmuc := counters.NewHaswellRegistry(true)
+		acc = append(acc, mmuc.GroupEvents(counters.GroupMMUC)...)
+		steps = append(steps, counters.GroupStep{Group: counters.GroupMMUC, Set: counters.NewSet(acc...)})
+	}
+	return steps
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runQuick executes one experiment in quick mode and returns its output.
+func runQuick(t *testing.T, name string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Run(&buf, name, Options{Quick: true}); err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	out := buf.String()
+	if len(out) < 40 {
+		t.Fatalf("%s: suspiciously short output:\n%s", name, out)
+	}
+	return out
+}
+
+func TestRegistryComplete(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range All() {
+		if e.Name == "" || e.Title == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment entry %+v", e)
+		}
+		if names[e.Name] {
+			t.Fatalf("duplicate experiment %s", e.Name)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"fig1a", "fig1b", "fig1c", "fig3", "fig3d",
+		"fig5a", "table1", "fig6", "table3", "fig10", "table5", "table7",
+		"corrstats", "fig9a", "fig9b"} {
+		if !names[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run(&buf, "nope", Options{}); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestFig1a(t *testing.T) {
+	out := runQuick(t, "fig1a")
+	if !strings.Contains(out, "NHM-EX") || !strings.Contains(out, "CLX") {
+		t.Fatalf("census rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "growth") {
+		t.Fatalf("growth factor missing:\n%s", out)
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	out := runQuick(t, "fig1b")
+	for _, g := range []string{"Ret", "L2TLB", "Walk", "Refs"} {
+		if !strings.Contains(out, g) {
+			t.Fatalf("missing group %s:\n%s", g, out)
+		}
+	}
+}
+
+func TestFig1c(t *testing.T) {
+	out := runQuick(t, "fig1c")
+	if !strings.Contains(out, "#counters") {
+		t.Fatalf("missing sweep header:\n%s", out)
+	}
+	// The 4-counter row must detect the violation in every trial.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "4 ") {
+			if !strings.Contains(line, "2/2") {
+				t.Fatalf("4-counter row should detect: %q", line)
+			}
+		}
+	}
+}
+
+func TestFig3(t *testing.T) {
+	out := runQuick(t, "fig3")
+	if !strings.Contains(out, "3a") || !strings.Contains(out, "violation detected") {
+		t.Fatalf("3a should detect:\n%s", out)
+	}
+	if strings.Count(out, "violation NOT detected") != 2 {
+		t.Fatalf("3b and 3c should both miss the violation:\n%s", out)
+	}
+}
+
+func TestFig3d(t *testing.T) {
+	out := runQuick(t, "fig3d")
+	if !strings.Contains(out, "correlated") || !strings.Contains(out, "smaller in volume") {
+		t.Fatalf("volume comparison missing:\n%s", out)
+	}
+}
+
+func TestFig5a(t *testing.T) {
+	out := runQuick(t, "fig5a")
+	if !strings.Contains(out, "load.pde$_miss <= load.causes_walk") {
+		t.Fatalf("constraint C missing:\n%s", out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := runQuick(t, "table1")
+	if strings.Count(out, "implied by model: true") != 3 {
+		t.Fatalf("all three Table 1 constraints must be implied:\n%s", out)
+	}
+}
+
+func TestFig6(t *testing.T) {
+	out := runQuick(t, "fig6")
+	if !strings.Contains(out, "initial model feasible: false") {
+		t.Fatalf("initial model must be refuted:\n%s", out)
+	}
+	if !strings.Contains(out, "refined model feasible: true") {
+		t.Fatalf("refined model must accept the data:\n%s", out)
+	}
+}
+
+func TestFig9a(t *testing.T) {
+	out := runQuick(t, "fig9a")
+	if !strings.Contains(out, "Walk") {
+		t.Fatalf("timing sweep incomplete:\n%s", out)
+	}
+}
+
+func TestFig9b(t *testing.T) {
+	out := runQuick(t, "fig9b")
+	if !strings.Contains(out, "L2TLB") {
+		t.Fatalf("timing sweep incomplete:\n%s", out)
+	}
+}
+
+// TestCaseStudyTables runs the heavyweight corpus-backed experiments once,
+// sharing the cached quick corpus, and checks the headline shapes.
+func TestCaseStudyTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus simulation is slow")
+	}
+	out3 := runQuick(t, "table3")
+	// m4 and m8 must be the feasible models of the initial search.
+	for _, line := range strings.Split(out3, "\n") {
+		if strings.Contains(line, "m4 ") || strings.Contains(line, "m8 ") {
+			if !strings.HasPrefix(line, "*") {
+				t.Fatalf("m4/m8 must be feasible: %q", line)
+			}
+		}
+		if strings.Contains(line, "m0 ") && strings.HasPrefix(line, "*") {
+			t.Fatalf("m0 must be refuted: %q", line)
+		}
+	}
+
+	out5 := runQuick(t, "table5")
+	if !strings.Contains(out5, "*t0 ") {
+		t.Fatalf("t0 must be feasible:\n%s", out5)
+	}
+
+	out7 := runQuick(t, "table7")
+	for _, a := range []string{"a0", "a1", "a2", "a3"} {
+		if strings.Contains(out7, "*"+a+" ") {
+			t.Fatalf("%s must stay infeasible (aborts cannot replace bypass):\n%s", a, out7)
+		}
+	}
+
+	out10 := runQuick(t, "fig10")
+	if !strings.Contains(out10, "FEASIBLE") {
+		t.Fatalf("search must reach a feasible model:\n%s", out10)
+	}
+	for _, f := range []string{"bypass", "early-psc", "merging", "tlb-pf"} {
+		if !strings.Contains(out10, "required features") || !strings.Contains(out10, f) {
+			t.Fatalf("feature %s must be discovered:\n%s", f, out10)
+		}
+	}
+
+	outC := runQuick(t, "corrstats")
+	if !strings.Contains(outC, "ρ") {
+		t.Fatalf("correlation stats missing:\n%s", outC)
+	}
+}
+
+func TestReplayExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus simulation is slow")
+	}
+	out := runQuick(t, "replay")
+	if !strings.Contains(out, "0/") {
+		t.Fatalf("replay model should be feasible:\n%s", out)
+	}
+	if !strings.Contains(out, "without miss-merging") {
+		t.Fatalf("merging ablation missing:\n%s", out)
+	}
+}
+
+func TestExtensionExperiment(t *testing.T) {
+	out := runQuick(t, "extension")
+	if !strings.Contains(out, "feasible=false") || !strings.Contains(out, "feasible=true") {
+		t.Fatalf("extension should refute then accept:\n%s", out)
+	}
+}
+
+func TestErrataExperiment(t *testing.T) {
+	out := runQuick(t, "errata")
+	if !strings.Contains(out, "SMT=false") || !strings.Contains(out, "HSD29") {
+		t.Fatalf("errata demonstration incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "SMT=true  errata fired=[HSD29   ] true model feasible=false") {
+		t.Fatalf("SMT-on verdict should be falsely refuted:\n%s", out)
+	}
+}

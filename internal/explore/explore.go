@@ -1,0 +1,314 @@
+// Package explore implements CounterPoint's guided model exploration
+// (paper §5 and Appendix C): the discovery/elimination search over a space
+// of microarchitectural features, and the classification of feature
+// combinations by their consistency with HEC data (Figures 7, 8 and 10).
+//
+// The paper drives the search with an expert in the loop: CounterPoint
+// reports violated constraints and the expert chooses which feature to add.
+// Here a greedy heuristic plays the expert — in the discovery phase it adds
+// whichever candidate feature most reduces the number of infeasible
+// observations; in the elimination phase it recursively prunes features
+// from a feasible model, abandoning a subtree as soon as pruning yields an
+// infeasible model (the paper's empirical pruning rule).
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/stats"
+)
+
+// FeatureSet is a set of named microarchitectural features.
+type FeatureSet map[string]bool
+
+// NewFeatureSet builds a set from names.
+func NewFeatureSet(names ...string) FeatureSet {
+	fs := FeatureSet{}
+	for _, n := range names {
+		fs[n] = true
+	}
+	return fs
+}
+
+// Clone copies the set.
+func (fs FeatureSet) Clone() FeatureSet {
+	out := make(FeatureSet, len(fs))
+	for k, v := range fs {
+		if v {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// With returns a copy with the feature added.
+func (fs FeatureSet) With(name string) FeatureSet {
+	out := fs.Clone()
+	out[name] = true
+	return out
+}
+
+// Without returns a copy with the feature removed.
+func (fs FeatureSet) Without(name string) FeatureSet {
+	out := fs.Clone()
+	delete(out, name)
+	return out
+}
+
+// Names returns the sorted feature names present.
+func (fs FeatureSet) Names() []string {
+	var out []string
+	for k, v := range fs {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Key is a canonical identity for the set.
+func (fs FeatureSet) Key() string { return strings.Join(fs.Names(), "+") }
+
+// String renders the set like "{F1, F3}".
+func (fs FeatureSet) String() string {
+	return "{" + strings.Join(fs.Names(), ", ") + "}"
+}
+
+// Builder constructs a model for a feature combination.
+type Builder func(fs FeatureSet) (*core.Model, error)
+
+// Op records how a search node was derived (Figure 10's edge kinds).
+type Op string
+
+// Node derivation operations.
+const (
+	OpInitial    Op = "initial"
+	OpDiscovery  Op = "constraint-relaxation" // blue edges: feature added
+	OpPruning    Op = "pruning"               // yellow edges: feature removed
+	OpEnumerated Op = "enumerated"
+)
+
+// Node is one evaluated model in the search graph.
+type Node struct {
+	Features   FeatureSet
+	Infeasible int
+	Total      int
+	// Violated aggregates violated-constraint counts across the corpus
+	// (filled only when the search runs with violation identification).
+	Violated map[string]int
+	// DerivedFrom is the key of the parent node ("" for the initial node).
+	DerivedFrom string
+	Op          Op
+}
+
+// Feasible reports whether every observation was feasible.
+func (n *Node) Feasible() bool { return n.Infeasible == 0 }
+
+// Search runs guided exploration over a corpus.
+type Search struct {
+	Builder    Builder
+	Corpus     []*counters.Observation
+	Confidence float64
+	Mode       stats.NoiseMode
+	// IdentifyViolations controls whether constraint deduction runs for
+	// infeasible nodes (slower but mirrors the paper's expert feedback).
+	IdentifyViolations bool
+	// MaxDiscoverySteps bounds the discovery phase.
+	MaxDiscoverySteps int
+
+	nodes map[string]*Node
+	order []*Node
+}
+
+// NewSearch builds a search with the paper's defaults.
+func NewSearch(b Builder, corpus []*counters.Observation) *Search {
+	return &Search{
+		Builder:           b,
+		Corpus:            corpus,
+		Confidence:        core.DefaultConfidence,
+		Mode:              stats.Correlated,
+		MaxDiscoverySteps: 16,
+		nodes:             map[string]*Node{},
+	}
+}
+
+// Nodes returns every evaluated node in evaluation order.
+func (s *Search) Nodes() []*Node {
+	out := make([]*Node, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Evaluate tests one feature combination (memoised).
+func (s *Search) Evaluate(fs FeatureSet, parent string, op Op) (*Node, error) {
+	key := fs.Key()
+	if n, ok := s.nodes[key]; ok {
+		return n, nil
+	}
+	m, err := s.Builder(fs)
+	if err != nil {
+		return nil, fmt.Errorf("explore: build %s: %w", fs, err)
+	}
+	res, err := core.EvaluateCorpus(m, s.Corpus, s.Confidence, s.Mode, s.IdentifyViolations)
+	if err != nil {
+		return nil, fmt.Errorf("explore: evaluate %s: %w", fs, err)
+	}
+	n := &Node{
+		Features:    fs.Clone(),
+		Infeasible:  res.Infeasible,
+		Total:       res.Total,
+		Violated:    res.ViolatedConstraints,
+		DerivedFrom: parent,
+		Op:          op,
+	}
+	s.nodes[key] = n
+	s.order = append(s.order, n)
+	return n, nil
+}
+
+// Discover runs the discovery phase from the initial feature set: while
+// the current model is infeasible, greedily add the candidate feature that
+// most reduces the infeasible-observation count (ties broken by name). It
+// returns the final node (feasible, or the best reachable if the candidate
+// pool is exhausted).
+func (s *Search) Discover(initial FeatureSet, candidates []string) (*Node, error) {
+	cur, err := s.Evaluate(initial, "", OpInitial)
+	if err != nil {
+		return nil, err
+	}
+	for step := 0; step < s.MaxDiscoverySteps && !cur.Feasible(); step++ {
+		var best *Node
+		for _, cand := range sortedCandidates(candidates) {
+			if cur.Features[cand] {
+				continue
+			}
+			n, err := s.Evaluate(cur.Features.With(cand), cur.Features.Key(), OpDiscovery)
+			if err != nil {
+				return nil, err
+			}
+			if best == nil || n.Infeasible < best.Infeasible {
+				best = n
+			}
+		}
+		if best == nil || best.Infeasible >= cur.Infeasible {
+			// No candidate helps: stuck with the best reachable model.
+			return cur, nil
+		}
+		cur = best
+	}
+	return cur, nil
+}
+
+func sortedCandidates(cs []string) []string {
+	out := make([]string, len(cs))
+	copy(out, cs)
+	sort.Strings(out)
+	return out
+}
+
+// Eliminate runs the elimination phase from a feasible node: recursively
+// remove single features; feasible children are recursed into, infeasible
+// children terminate their subtree (the paper's pruning heuristic). It
+// returns every minimal feasible feature set found.
+func (s *Search) Eliminate(from *Node, removable []string) ([]*Node, error) {
+	var minimal []*Node
+	var rec func(n *Node) (bool, error) // returns whether any child stayed feasible
+	visited := map[string]bool{}
+	rec = func(n *Node) (bool, error) {
+		if visited[n.Features.Key()] {
+			return false, nil
+		}
+		visited[n.Features.Key()] = true
+		anyFeasibleChild := false
+		for _, f := range sortedCandidates(removable) {
+			if !n.Features[f] {
+				continue
+			}
+			child, err := s.Evaluate(n.Features.Without(f), n.Features.Key(), OpPruning)
+			if err != nil {
+				return false, err
+			}
+			if child.Feasible() {
+				anyFeasibleChild = true
+				if _, err := rec(child); err != nil {
+					return false, err
+				}
+			}
+		}
+		if !anyFeasibleChild {
+			minimal = append(minimal, n)
+		}
+		return anyFeasibleChild, nil
+	}
+	if !from.Feasible() {
+		return nil, fmt.Errorf("explore: elimination must start from a feasible model, %s is not", from.Features)
+	}
+	if _, err := rec(from); err != nil {
+		return nil, err
+	}
+	return minimal, nil
+}
+
+// Classification summarises the evaluated model space (Figure 7): which
+// features appear in every feasible model (inferred present), and which
+// appear in none (unsupported by the data).
+type Classification struct {
+	FeasibleModels   []FeatureSet
+	InfeasibleModels []FeatureSet
+	// Required features appear in every feasible model.
+	Required []string
+	// Optional features appear in some but not all feasible models — the
+	// data cannot resolve them (like the paper's PML4E cache).
+	Optional []string
+}
+
+// Classify analyses all evaluated nodes against the candidate feature
+// universe.
+func (s *Search) Classify(universe []string) Classification {
+	var c Classification
+	present := map[string]int{}
+	feasibleCount := 0
+	for _, n := range s.order {
+		if n.Feasible() {
+			c.FeasibleModels = append(c.FeasibleModels, n.Features)
+			feasibleCount++
+			for _, f := range n.Features.Names() {
+				present[f]++
+			}
+		} else {
+			c.InfeasibleModels = append(c.InfeasibleModels, n.Features)
+		}
+	}
+	for _, f := range sortedCandidates(universe) {
+		switch {
+		case feasibleCount > 0 && present[f] == feasibleCount:
+			c.Required = append(c.Required, f)
+		case present[f] > 0:
+			c.Optional = append(c.Optional, f)
+		}
+	}
+	return c
+}
+
+// GraphReport renders the search graph as text (Figure 10 stand-in): one
+// line per node with its derivation edge, features, and verdict.
+func (s *Search) GraphReport() string {
+	var b strings.Builder
+	for _, n := range s.order {
+		verdict := "FEASIBLE"
+		if !n.Feasible() {
+			verdict = fmt.Sprintf("infeasible (%d/%d)", n.Infeasible, n.Total)
+		}
+		from := n.DerivedFrom
+		if from == "" {
+			from = "(start)"
+		}
+		fmt.Fprintf(&b, "%-12s %-28s <- {%s}  %s\n", n.Op, n.Features.String(), from, verdict)
+	}
+	return b.String()
+}

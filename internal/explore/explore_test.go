@@ -1,0 +1,202 @@
+package explore
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+)
+
+// The test feature space reuses the paper's Figure 6 running example.
+// Feature "abort": translation requests may abort after the PDE cache
+// lookup (relaxes pde$_miss <= causes_walk). Feature "doublewalk": a miss
+// may trigger two walks (relaxes nothing the corpus needs — a red herring
+// the elimination phase must prune).
+func builder(t *testing.T) Builder {
+	return func(fs FeatureSet) (*core.Model, error) {
+		var b strings.Builder
+		b.WriteString("do LookupPde$;\n")
+		b.WriteString("switch Pde$Status {\n Hit => pass;\n Miss => {\n incr load.pde$_miss;\n")
+		if fs["abort"] {
+			b.WriteString(" switch Abort { Yes => done; No => pass; };\n")
+		}
+		b.WriteString(" };\n};\n")
+		b.WriteString("incr load.causes_walk;\n")
+		if fs["doublewalk"] {
+			b.WriteString("switch Double { Yes => incr load.causes_walk; No => pass; };\n")
+		}
+		b.WriteString("done;\n")
+		set := counters.NewSet("load.causes_walk", "load.pde$_miss")
+		return core.ModelFromDSL("feat:"+fs.Key(), b.String(), set)
+	}
+}
+
+func corpus() []*counters.Observation {
+	set := counters.NewSet("load.causes_walk", "load.pde$_miss")
+	mk := func(label string, cw, pm float64, seed int64) *counters.Observation {
+		o := counters.NewObservation(label, set)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 200; i++ {
+			o.Append([]float64{cw + rng.NormFloat64(), pm + rng.NormFloat64()})
+		}
+		return o
+	}
+	return []*counters.Observation{
+		mk("benign", 500, 300, 1),
+		mk("anomalous", 200, 500, 2), // pde$_miss > causes_walk
+	}
+}
+
+func TestFeatureSetOps(t *testing.T) {
+	fs := NewFeatureSet("b", "a")
+	if fs.Key() != "a+b" {
+		t.Fatalf("key: %q", fs.Key())
+	}
+	w := fs.With("c")
+	if !w["c"] || fs["c"] {
+		t.Fatal("With should not mutate receiver")
+	}
+	wo := w.Without("a")
+	if wo["a"] || !w["a"] {
+		t.Fatal("Without should not mutate receiver")
+	}
+	if fs.String() != "{a, b}" {
+		t.Fatalf("string: %q", fs.String())
+	}
+}
+
+func TestDiscoveryFindsAbort(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	final, err := s.Discover(NewFeatureSet(), []string{"abort", "doublewalk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Feasible() {
+		t.Fatalf("discovery should reach a feasible model, got %d infeasible", final.Infeasible)
+	}
+	if !final.Features["abort"] {
+		t.Fatalf("abort feature must be discovered; got %s", final.Features)
+	}
+}
+
+func TestEliminationPrunesRedHerring(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	full, err := s.Evaluate(NewFeatureSet("abort", "doublewalk"), "", OpInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Feasible() {
+		t.Fatal("full model should be feasible")
+	}
+	minimal, err := s.Eliminate(full, []string{"abort", "doublewalk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimal) != 1 {
+		t.Fatalf("minimal models: %d, want 1", len(minimal))
+	}
+	if minimal[0].Features.Key() != "abort" {
+		t.Fatalf("minimal model %s, want {abort}", minimal[0].Features)
+	}
+}
+
+func TestEliminationRequiresFeasibleStart(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	n, err := s.Evaluate(NewFeatureSet(), "", OpInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Eliminate(n, []string{"abort"}); err == nil {
+		t.Fatal("elimination from infeasible model should error")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	final, err := s.Discover(NewFeatureSet(), []string{"abort", "doublewalk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Eliminate(final, []string{"abort", "doublewalk"}); err != nil {
+		t.Fatal(err)
+	}
+	// Also evaluate the abort+doublewalk combination for coverage.
+	if _, err := s.Evaluate(NewFeatureSet("abort", "doublewalk"), "", OpEnumerated); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Classify([]string{"abort", "doublewalk"})
+	found := false
+	for _, f := range c.Required {
+		if f == "abort" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("abort must be classified required; got required=%v optional=%v",
+			c.Required, c.Optional)
+	}
+	if len(c.FeasibleModels) == 0 || len(c.InfeasibleModels) == 0 {
+		t.Fatal("classification should see both kinds")
+	}
+}
+
+func TestDiscoveryStuckReturnsBest(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	// Only the red herring available: cannot fix the anomaly.
+	final, err := s.Discover(NewFeatureSet(), []string{"doublewalk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Feasible() {
+		t.Fatal("doublewalk alone cannot explain the anomaly")
+	}
+}
+
+func TestEvaluateMemoised(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	a, err := s.Evaluate(NewFeatureSet("abort"), "", OpInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Evaluate(NewFeatureSet("abort"), "other", OpPruning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("evaluation should be memoised")
+	}
+	if len(s.Nodes()) != 1 {
+		t.Fatalf("nodes: %d", len(s.Nodes()))
+	}
+}
+
+func TestGraphReport(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	if _, err := s.Discover(NewFeatureSet(), []string{"abort"}); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.GraphReport()
+	if !strings.Contains(rep, "FEASIBLE") || !strings.Contains(rep, "infeasible") {
+		t.Fatalf("report missing verdicts:\n%s", rep)
+	}
+	if !strings.Contains(rep, "constraint-relaxation") {
+		t.Fatalf("report missing discovery edges:\n%s", rep)
+	}
+}
+
+func TestViolationIdentificationInSearch(t *testing.T) {
+	s := NewSearch(builder(t), corpus())
+	s.IdentifyViolations = true
+	n, err := s.Evaluate(NewFeatureSet(), "", OpInitial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Violated) == 0 {
+		t.Fatal("violations should be identified for the initial model")
+	}
+	if _, ok := n.Violated["load.pde$_miss <= load.causes_walk"]; !ok {
+		t.Fatalf("constraint C should be among violations: %v", n.Violated)
+	}
+}

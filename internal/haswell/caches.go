@@ -1,0 +1,131 @@
+package haswell
+
+// tlbCache is a set-associative LRU TLB keyed by virtual page number.
+type tlbCache struct {
+	sets  int
+	ways  int
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+}
+
+func newTLB(entries, ways int) *tlbCache {
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+		ways = entries
+	}
+	t := &tlbCache{sets: sets, ways: ways}
+	t.tags = make([][]uint64, sets)
+	t.valid = make([][]bool, sets)
+	t.lru = make([][]uint64, sets)
+	for i := range t.tags {
+		t.tags[i] = make([]uint64, ways)
+		t.valid[i] = make([]bool, ways)
+		t.lru[i] = make([]uint64, ways)
+	}
+	return t
+}
+
+func (t *tlbCache) set(vpn uint64) int { return int(vpn % uint64(t.sets)) }
+
+// Lookup reports whether vpn is cached, updating LRU state on hit.
+func (t *tlbCache) Lookup(vpn uint64) bool {
+	s := t.set(vpn)
+	t.clock++
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.tags[s][w] == vpn {
+			t.lru[s][w] = t.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts vpn, evicting the LRU way.
+func (t *tlbCache) Fill(vpn uint64) {
+	s := t.set(vpn)
+	t.clock++
+	victim := 0
+	for w := 0; w < t.ways; w++ {
+		if t.valid[s][w] && t.tags[s][w] == vpn {
+			t.lru[s][w] = t.clock
+			return
+		}
+		if !t.valid[s][w] {
+			victim = w
+			break
+		}
+		if t.lru[s][w] < t.lru[s][victim] {
+			victim = w
+		}
+	}
+	t.tags[s][victim] = vpn
+	t.valid[s][victim] = true
+	t.lru[s][victim] = t.clock
+}
+
+// Flush invalidates every entry.
+func (t *tlbCache) Flush() {
+	for s := range t.valid {
+		for w := range t.valid[s] {
+			t.valid[s][w] = false
+		}
+	}
+}
+
+// pscCache is a small fully-associative LRU paging-structure cache (PDE,
+// PDPTE or PML4E cache) keyed by a virtual-address prefix.
+type pscCache struct {
+	cap   int
+	tags  []uint64
+	lru   []uint64
+	clock uint64
+}
+
+func newPSC(entries int) *pscCache {
+	return &pscCache{cap: entries}
+}
+
+// Lookup reports whether the prefix is cached.
+func (c *pscCache) Lookup(prefix uint64) bool {
+	c.clock++
+	for i, t := range c.tags {
+		if t == prefix {
+			c.lru[i] = c.clock
+			return true
+		}
+	}
+	return false
+}
+
+// Fill inserts the prefix, evicting LRU if full.
+func (c *pscCache) Fill(prefix uint64) {
+	c.clock++
+	for i, t := range c.tags {
+		if t == prefix {
+			c.lru[i] = c.clock
+			return
+		}
+	}
+	if len(c.tags) < c.cap {
+		c.tags = append(c.tags, prefix)
+		c.lru = append(c.lru, c.clock)
+		return
+	}
+	victim := 0
+	for i := range c.lru {
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.tags[victim] = prefix
+	c.lru[victim] = c.clock
+}
+
+// Flush empties the cache.
+func (c *pscCache) Flush() {
+	c.tags = c.tags[:0]
+	c.lru = c.lru[:0]
+}

@@ -1,0 +1,129 @@
+package haswell
+
+// This file defines the model catalogues explored in the paper's case
+// study: the initial search m0–m11 (Table 3), the TLB-prefetch trigger
+// analysis t0–t17 (Table 5), and the abort-point analysis a0–a3 (Table 7).
+
+// NamedFeatures pairs a model name with its feature set.
+type NamedFeatures struct {
+	Name     string
+	Features ModelFeatures
+}
+
+// pfDefaults returns the prefetch trigger configuration shared by the
+// Table 3 models: speculative, load-triggered, in the load-store queue.
+func pfDefaults(f ModelFeatures) ModelFeatures {
+	f.PfSpec = true
+	f.PfLoads = true
+	f.PfStores = false
+	f.PfTrigger = TriggerLSQ
+	return f
+}
+
+// Table3Models returns the twelve μDDs of the initial model search
+// (Table 3 / Figure 10), identified by their feature columns:
+// TlbPf, EarlyPsc, Merging, Pml4eCache, WalkBypass.
+func Table3Models() []NamedFeatures {
+	mk := func(name string, pf, epsc, merge, pml4e, bypass bool) NamedFeatures {
+		f := ModelFeatures{
+			TLBPrefetch: pf,
+			EarlyPSC:    epsc,
+			Merging:     merge,
+			PML4ECache:  pml4e,
+			WalkBypass:  bypass,
+		}
+		if pf {
+			f = pfDefaults(f)
+		}
+		return NamedFeatures{Name: name, Features: f}
+	}
+	return []NamedFeatures{
+		mk("m0", false, false, false, false, false),
+		mk("m1", true, false, false, false, false),
+		mk("m2", true, true, true, false, false),
+		mk("m3", true, true, true, true, false),
+		mk("m4", true, true, true, true, true),
+		mk("m5", false, true, true, true, true),
+		mk("m6", true, false, true, true, true),
+		mk("m7", true, true, false, true, true),
+		mk("m8", true, true, true, false, true),
+		mk("m9", false, true, true, false, true),
+		mk("m10", true, false, true, false, true),
+		mk("m11", true, true, false, false, true),
+	}
+}
+
+// Table5Models returns the eighteen trigger-condition variants of m4
+// (Table 5): columns Spec, Load, Store, DtlbMiss, StlbMiss. A miss-stream
+// column replaces the LSQ trigger point; otherwise prefetches attach in the
+// load-store queue before DTLB lookup.
+func Table5Models() []NamedFeatures {
+	base := ModelFeatures{
+		TLBPrefetch: true,
+		EarlyPSC:    true,
+		Merging:     true,
+		PML4ECache:  true,
+		WalkBypass:  true,
+	}
+	mk := func(name string, spec, load, store, dtlb, stlb bool) NamedFeatures {
+		f := base
+		f.PfSpec = spec
+		f.PfLoads = load
+		f.PfStores = store
+		switch {
+		case stlb:
+			f.PfTrigger = TriggerSTLBMiss
+		case dtlb:
+			f.PfTrigger = TriggerDTLBMiss
+		default:
+			f.PfTrigger = TriggerLSQ
+		}
+		return NamedFeatures{Name: name, Features: f}
+	}
+	return []NamedFeatures{
+		mk("t0", true, true, false, false, false),
+		mk("t1", true, true, false, true, false),
+		mk("t2", true, true, false, false, true),
+		mk("t3", true, false, true, false, false),
+		mk("t4", true, false, true, true, false),
+		mk("t5", true, false, true, false, true),
+		mk("t6", true, true, true, false, false),
+		mk("t7", true, true, true, true, false),
+		mk("t8", true, true, true, false, true),
+		mk("t9", false, true, false, false, false),
+		mk("t10", false, true, false, true, false),
+		mk("t11", false, true, false, false, true),
+		mk("t12", false, false, true, false, false),
+		mk("t13", false, false, true, true, false),
+		mk("t14", false, false, true, false, true),
+		mk("t15", false, true, true, false, false),
+		mk("t16", false, true, true, true, false),
+		mk("t17", false, true, true, false, true),
+	}
+}
+
+// Table7Models returns the abort-point variants of t0 with walk bypassing
+// removed (Table 7): a0 allows aborts only during the walk (the baseline
+// squash-abort every model has), a1–a3 cumulatively add earlier points.
+func Table7Models() []NamedFeatures {
+	base := pfDefaults(ModelFeatures{
+		TLBPrefetch: true,
+		EarlyPSC:    true,
+		Merging:     true,
+		PML4ECache:  true,
+		WalkBypass:  false,
+	})
+	mk := func(name string, psc, l2, l1 bool) NamedFeatures {
+		f := base
+		f.AbortAfterPSC = psc
+		f.AbortAfterL2TLB = l2
+		f.AbortAfterL1TLB = l1
+		return NamedFeatures{Name: name, Features: f}
+	}
+	return []NamedFeatures{
+		mk("a0", false, false, false),
+		mk("a1", true, false, false),
+		mk("a2", true, true, false),
+		mk("a3", true, true, true),
+	}
+}

@@ -1,0 +1,174 @@
+// Package haswell simulates the data side of the Intel Haswell memory
+// management unit at micro-op granularity, emitting ground-truth values for
+// the 26 hardware event counters of Table 2.
+//
+// The paper measures real Haswell silicon; we have none (and Go's runtime
+// would corrupt any real measurement), so this simulator is the substituted
+// hardware under test. Its feature set is configurable along exactly the
+// axes that the paper's guided model exploration discovers (Tables 3–7):
+// an LSQ-side TLB prefetcher with cache-line-pair triggers, early
+// paging-structure-cache lookup, page-table-walk merging through MSHRs,
+// an optional PML4E (root-level) MMU cache, machine-clear walk aborts, and
+// walk replay (completions whose memory references are not counted — the
+// paper's "walk bypassing").
+//
+// Ground-truth counter semantics (documented here because every model μDD
+// in models.go must mirror them exactly):
+//
+//	T.ret            retired micro-op of access type T
+//	T.ret_stlb_miss  retired micro-op of type T whose demand access missed the STLB
+//	T.stlb_hit(+4k/2m)  demand L1-TLB miss that hit the STLB (speculative included)
+//	T.causes_walk    demand STLB miss that allocated a new page walk (merged
+//	                 requests and prefetches do not count)
+//	T.pde$_miss      PDE-cache miss by any 4K translation request of type T:
+//	                 walk owners, merged requests (early-PSC hardware), and
+//	                 load-side prefetches
+//	T.walk_done(+size)  completed demand walks, including replayed walks
+//	walk_ref.{l1,l2,l3,mem}  page-walker loads by the level of the data-cache
+//	                 hierarchy that served them; demand and prefetch walks
+//	                 count, replayed (non-speculative) walks do not
+package haswell
+
+import (
+	"repro/internal/counters"
+	"repro/internal/pagetable"
+)
+
+// Features selects which discovered microarchitectural behaviours the
+// simulated hardware implements. The paper's final Haswell feature set is
+// DiscoveredFeatures.
+type Features struct {
+	// TLBPrefetch enables the load-store-queue-side TLB prefetcher.
+	TLBPrefetch bool
+	// EarlyPSC looks the PDE cache up before MSHR merge / walk start, so
+	// merged requests also hit or miss the PDE cache.
+	EarlyPSC bool
+	// WalkMerging merges outstanding walks to the same virtual page into a
+	// single walk via MMU MSHRs.
+	WalkMerging bool
+	// PML4ECache adds a root-level (PML4E) paging-structure cache.
+	PML4ECache bool
+	// WalkReplay makes machine-cleared walks of retiring micro-ops replay
+	// non-speculatively: the walk completes (walk_done increments) but its
+	// memory references are not recorded by walk_ref — the behaviour the
+	// paper calls walk bypassing.
+	WalkReplay bool
+}
+
+// DiscoveredFeatures is the feature set the paper's case study converges on
+// (model m8; m4 additionally assumes a PML4E cache, which the data cannot
+// distinguish — our simulated silicon omits it).
+func DiscoveredFeatures() Features {
+	return Features{
+		TLBPrefetch: true,
+		EarlyPSC:    true,
+		WalkMerging: true,
+		PML4ECache:  false,
+		WalkReplay:  true,
+	}
+}
+
+// Config parameterises one simulated machine.
+type Config struct {
+	Features Features
+	// PageSize used for all mappings of the run (the paper repeats
+	// experiments at 4K, 2M and 1G).
+	PageSize pagetable.PageSize
+	// SpecRate is the probability that a micro-op is squashed (wrong-path
+	// speculation) instead of retiring.
+	SpecRate float64
+	// ClearRate is the probability that a demand walk is machine-cleared
+	// mid-walk.
+	ClearRate float64
+	// WindowUops is the MSHR overlap window: STLB misses to the same
+	// virtual page within a window merge into one walk.
+	WindowUops int
+	// AccessedClearEvery clears all page-table accessed bits every N
+	// micro-ops (an OS reclaim-scan stand-in); 0 disables. Unset accessed
+	// bits are what make prefetch-induced walks abort.
+	AccessedClearEvery int
+	// Seed drives all randomness (speculation, clears).
+	Seed int64
+
+	// DTLBEntries/STLBEntries size the TLBs (defaults applied when zero).
+	DTLBEntries, STLBEntries int
+	// PDEEntries/PDPTEEntries/PML4EEntries size the paging-structure
+	// caches (defaults applied when zero).
+	PDEEntries, PDPTEEntries, PML4EEntries int
+}
+
+// DefaultConfig returns a Haswell-like configuration with the discovered
+// feature set at the given page size.
+func DefaultConfig(ps pagetable.PageSize) Config {
+	return Config{
+		Features:   DiscoveredFeatures(),
+		PageSize:   ps,
+		SpecRate:   0.04,
+		ClearRate:  0.03,
+		WindowUops: 16,
+		Seed:       1,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	if c.DTLBEntries == 0 {
+		c.DTLBEntries = 64
+	}
+	if c.STLBEntries == 0 {
+		c.STLBEntries = 1024
+	}
+	if c.PDEEntries == 0 {
+		c.PDEEntries = 32
+	}
+	if c.PDPTEEntries == 0 {
+		c.PDPTEEntries = 4
+	}
+	if c.PML4EEntries == 0 {
+		c.PML4EEntries = 2
+	}
+	if c.WindowUops <= 0 {
+		c.WindowUops = 16
+	}
+	if c.PageSize == 0 {
+		c.PageSize = pagetable.Page4K
+	}
+}
+
+// AggregateWalkRef is the synthetic event name for the sum of the four
+// walk_ref.* counters. The per-reference cache level is a free choice in
+// every model (each walker load may be served anywhere), so the model cone
+// over the four split counters carries no information beyond their sum;
+// corpus-scale models therefore use this aggregate, keeping μpath counts
+// tractable, while small per-level models verify Table 1's constraints.
+const AggregateWalkRef counters.Event = "walk_ref"
+
+// GroundTruthSet returns the counter set the simulator records: the 26
+// documented Haswell MMU events.
+func GroundTruthSet() *counters.Set {
+	return counters.NewSet(counters.NewHaswellRegistry(false).Events()...)
+}
+
+// WithAggregateWalkRef returns a copy of o extended with the walk_ref
+// aggregate column (the sum of walk_ref.{l1,l2,l3,mem}).
+func WithAggregateWalkRef(o *counters.Observation) *counters.Observation {
+	events := append(o.Set.Events(), AggregateWalkRef)
+	set := counters.NewSet(events...)
+	out := counters.NewObservation(o.Label, set)
+	idx := make([]int, 0, 4)
+	for _, e := range []counters.Event{counters.WalkRefL1, counters.WalkRefL2, counters.WalkRefL3, counters.WalkRefMem} {
+		if i, ok := o.Set.Index(e); ok {
+			idx = append(idx, i)
+		}
+	}
+	for _, row := range o.Samples {
+		ext := make([]float64, set.Len())
+		copy(ext, row)
+		sum := 0.0
+		for _, i := range idx {
+			sum += row[i]
+		}
+		ext[set.Len()-1] = sum
+		out.Samples = append(out.Samples, ext)
+	}
+	return out
+}

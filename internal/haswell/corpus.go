@@ -1,0 +1,188 @@
+package haswell
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/counters"
+	"repro/internal/pagetable"
+	"repro/internal/workloads"
+)
+
+// CorpusSpec sizes the simulated measurement corpus. The paper collects ~20
+// million HEC samples; our default corpus is scaled to keep the full
+// experiment suite in CI-sized minutes while stressing the same MMU
+// corners.
+type CorpusSpec struct {
+	// Samples and UopsPerSample control each observation's time series.
+	Samples       int
+	UopsPerSample int
+	// Quick restricts the corpus to a representative subset (used by tests).
+	Quick bool
+	// Seed offsets all workload and simulator seeds.
+	Seed int64
+}
+
+// DefaultCorpusSpec is the experiment-scale corpus.
+func DefaultCorpusSpec() CorpusSpec {
+	return CorpusSpec{Samples: 24, UopsPerSample: 20000, Seed: 1}
+}
+
+// QuickCorpusSpec is the test-scale corpus.
+func QuickCorpusSpec() CorpusSpec {
+	return CorpusSpec{Samples: 12, UopsPerSample: 8000, Quick: true, Seed: 1}
+}
+
+// corpusEntry couples a workload constructor with a simulator config.
+type corpusEntry struct {
+	label string
+	gen   func() (workloads.Generator, error)
+	cfg   Config
+}
+
+// BuildCorpus simulates the workload corpus on the ground-truth hardware
+// (DiscoveredFeatures) and returns one observation per workload/config,
+// already extended with the walk_ref aggregate. Workloads cover the
+// regimes each discovered feature is inferred from:
+//
+//   - burst-random → MSHR merging + early PSC lookup (pde$_miss >
+//     causes_walk, ret_stlb_miss > walk_done);
+//   - small/medium random at 4K → walk replay (walk_done exceeding what
+//     walk_ref allows);
+//   - 1G/2M pages → the PML4E-cache-vs-bypass ambiguity;
+//   - looping stencil/linear with warm TLBs → LSQ prefetcher activity
+//     decoupled from every miss stream;
+//   - linear sweeps with mixed load-store ratios → prefetcher triggers and
+//     store behaviour.
+func BuildCorpus(spec CorpusSpec) ([]*counters.Observation, error) {
+	entries := corpusEntries(spec)
+	obs := make([]*counters.Observation, len(entries))
+	errs := make([]error, len(entries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, e := range entries {
+		wg.Add(1)
+		go func(i int, e corpusEntry) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			gen, err := e.gen()
+			if err != nil {
+				errs[i] = fmt.Errorf("corpus %s: %w", e.label, err)
+				return
+			}
+			sim := NewSimulator(e.cfg)
+			// Warm up: one sample's worth of micro-ops reaches steady state.
+			sim.Step(gen, spec.UopsPerSample)
+			o := sim.Observation(gen, spec.Samples, spec.UopsPerSample)
+			o.Label = e.label + "/" + o.Label
+			obs[i] = WithAggregateWalkRef(o)
+		}(i, e)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return obs, nil
+}
+
+func corpusEntries(spec CorpusSpec) []corpusEntry {
+	seed := spec.Seed
+	cfg4k := func() Config { return DefaultConfig(pagetable.Page4K) }
+	var out []corpusEntry
+	add := func(label string, cfg Config, gen func() (workloads.Generator, error)) {
+		cfg.Seed = seed + int64(len(out))
+		out = append(out, corpusEntry{label: label, gen: gen, cfg: cfg})
+	}
+
+	// Burst-random: merging + early-PSC anomaly (pde$_miss > causes_walk).
+	for _, fp := range []uint64{256 << 20, 1 << 30} {
+		fp := fp
+		for _, burst := range []int{8, 16} {
+			burst := burst
+			add(fmt.Sprintf("burst%d-%dm", burst, fp>>20), cfg4k(), func() (workloads.Generator, error) {
+				return workloads.NewRandomBurst(fp, burst, 0.8, seed+101)
+			})
+			if spec.Quick {
+				break
+			}
+		}
+		if spec.Quick {
+			break
+		}
+	}
+
+	// Random, PDE-cache-friendly footprint: exposes replayed walks
+	// (walk_done with missing walk_ref).
+	for _, fp := range []uint64{24 << 20, 48 << 20} {
+		fp := fp
+		add(fmt.Sprintf("random-%dm", fp>>20), cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewRandom(fp, 1.0, seed+201)
+		})
+		if spec.Quick {
+			break
+		}
+	}
+
+	// Large random: deep walks, PDE-cache misses.
+	if !spec.Quick {
+		add("random-1g", cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewRandom(1<<30, 0.7, seed+301)
+		})
+	}
+
+	// Huge pages: the PML4E-cache / bypass ambiguity. The footprint must
+	// exceed STLB reach (1024 × 1 GB) for 1 GB translations to walk; the
+	// simulator's bump allocator only hands out addresses, so a multi-TB
+	// footprint costs no memory.
+	cfg1g := DefaultConfig(pagetable.Page1G)
+	add("random-1gpage", cfg1g, func() (workloads.Generator, error) {
+		return workloads.NewRandom(4<<40, 1.0, seed+401)
+	})
+	cfg2m := DefaultConfig(pagetable.Page2M)
+	add("random-2mpage", cfg2m, func() (workloads.Generator, error) {
+		return workloads.NewRandom(8<<30, 0.9, seed+451)
+	})
+
+	// Looping stencil inside DTLB reach: prefetcher signal with no miss
+	// stream. A small store fraction keeps store-side-trigger models
+	// testable the way the paper's corpus does (Table 5: t12 is feasible).
+	add("stencil-loop", cfg4k(), func() (workloads.Generator, error) {
+		return workloads.NewStencil(160<<10, 0.9)
+	})
+
+	// Linear sweeps: prefetcher + merging together.
+	for _, stride := range []uint64{64, 192} {
+		stride := stride
+		add(fmt.Sprintf("linear-s%d", stride), cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewLinear(64<<20, stride, 0.9, false)
+		})
+		if spec.Quick {
+			break
+		}
+	}
+	if !spec.Quick {
+		add("linear-desc", cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewLinear(32<<20, 64, 1.0, true)
+		})
+		// Store-only linear: must show no prefetch activity (C.2).
+		add("linear-stores", cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewLinear(32<<20, 64, 0.0, false)
+		})
+		add("pointerchase", cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewPointerChase(128<<20, seed+501)
+		})
+		add("zipfian", cfg4k(), func() (workloads.Generator, error) {
+			return workloads.NewZipfian(256<<20, 1.2, 0.85, seed+601)
+		})
+		// Accessed-bit clearing: prefetch walks abort mid-stream.
+		abit := cfg4k()
+		abit.AccessedClearEvery = 50000
+		add("linear-abitclear", abit, func() (workloads.Generator, error) {
+			return workloads.NewLinear(16<<20, 64, 1.0, false)
+		})
+	}
+	return out
+}

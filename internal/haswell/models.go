@@ -1,0 +1,486 @@
+package haswell
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/dsl"
+	"repro/internal/mudd"
+)
+
+// TriggerPoint locates the TLB prefetcher's trigger in the pipeline
+// (Table 6: LSQ scan before DTLB lookup, the DTLB miss stream, or the STLB
+// miss stream).
+type TriggerPoint int
+
+// Prefetch trigger points.
+const (
+	TriggerLSQ TriggerPoint = iota
+	TriggerDTLBMiss
+	TriggerSTLBMiss
+)
+
+func (p TriggerPoint) String() string {
+	switch p {
+	case TriggerLSQ:
+		return "lsq"
+	case TriggerDTLBMiss:
+		return "dtlb-miss"
+	case TriggerSTLBMiss:
+		return "stlb-miss"
+	}
+	return "?"
+}
+
+// RefMode selects how walker memory references appear in μDDs.
+type RefMode int
+
+// Reference modelling modes.
+const (
+	// RefsAggregate increments the synthetic walk_ref sum. Because each
+	// reference's serving level is a free choice, the split-counter cone
+	// projects exactly onto the aggregate: no constraint information is
+	// lost, and μpath counts stay small enough for corpus-scale search.
+	RefsAggregate RefMode = iota
+	// RefsPerLevel adds a serving-level decision per reference, emitting
+	// walk_ref.{l1,l2,l3,mem} — the full Table 2 Refs group, used to verify
+	// Table 1's constraints and the Figure 1b scaling.
+	RefsPerLevel
+)
+
+// ModelFeatures parameterises a candidate μDD along the paper's feature
+// axes (Tables 3–7).
+type ModelFeatures struct {
+	TLBPrefetch bool
+	EarlyPSC    bool
+	Merging     bool
+	PML4ECache  bool
+	WalkBypass  bool
+
+	// Prefetch trigger conditions (Table 5/6); meaningful with TLBPrefetch.
+	PfSpec    bool // prefetches may ride purely speculative micro-ops
+	PfLoads   bool
+	PfStores  bool
+	PfTrigger TriggerPoint
+
+	// Translation-request abort points (Table 7). Walk-abort for squashed
+	// micro-ops is part of every baseline model; these add earlier points.
+	AbortAfterPSC   bool
+	AbortAfterL2TLB bool
+	AbortAfterL1TLB bool
+
+	// ConservativeAborts restricts aborted walks to the conventional
+	// assumption behind Table 1's constraints (2) and (3): every walk
+	// issues at least one reference before aborting, and never more than
+	// its paging-structure-cache-determined depth. The paper's case study
+	// *discovers* that real aborts are laxer ("walks can be aborted at any
+	// point — even before issuing a single memory access"), so the search
+	// models m0–m11/t/a leave this off.
+	ConservativeAborts bool
+
+	RefMode RefMode
+}
+
+// DiscoveredModelFeatures returns the μDD feature set matching the
+// hardware the case study converges on (model m8 with the discovered
+// prefetch trigger conditions of model t0).
+func DiscoveredModelFeatures() ModelFeatures {
+	return ModelFeatures{
+		TLBPrefetch: true,
+		EarlyPSC:    true,
+		Merging:     true,
+		PML4ECache:  false,
+		WalkBypass:  true,
+		PfSpec:      true,
+		PfLoads:     true,
+		PfTrigger:   TriggerLSQ,
+	}
+}
+
+// modelBuilder accumulates DSL source with indentation.
+type modelBuilder struct {
+	b      strings.Builder
+	indent int
+	f      ModelFeatures
+	t      string // current micro-op type: "load" or "store"
+}
+
+func (m *modelBuilder) line(format string, args ...any) {
+	m.b.WriteString(strings.Repeat("    ", m.indent))
+	fmt.Fprintf(&m.b, format, args...)
+	m.b.WriteString("\n")
+}
+
+func (m *modelBuilder) open(format string, args ...any) {
+	m.line(format, args...)
+	m.indent++
+}
+
+func (m *modelBuilder) close(suffix string) {
+	m.indent--
+	m.line("}%s", suffix)
+}
+
+// GenerateDSL renders the μDD DSL source for the feature set: one `uop`
+// block per micro-op type, mirroring the simulator's ground-truth counter
+// semantics (see package comment).
+func GenerateDSL(f ModelFeatures) string {
+	m := &modelBuilder{f: f}
+	m.line("// Haswell MMU model: %s", FeatureString(f))
+	for _, t := range []string{"load", "store"} {
+		m.t = t
+		m.open("uop %s {", strings.ToUpper(t[:1])+t[1:])
+		m.uopBody()
+		m.close("")
+	}
+	return m.b.String()
+}
+
+func (m *modelBuilder) uopBody() {
+	// Establish the shared μpath properties up front.
+	m.line("switch PageSize { P4K => pass; P2M => pass; P1G => pass; };")
+	m.line("switch Retired { Yes => pass; No => pass; };")
+	m.pfAttach(TriggerLSQ)
+	m.open("switch DtlbStatus {")
+	m.open("Hit => {")
+	m.retInc(false)
+	m.line("done;")
+	m.close(";")
+	m.open("Miss => {")
+	m.abortGate(m.f.AbortAfterL1TLB, "AbortAtL1TLB")
+	m.pfAttach(TriggerDTLBMiss)
+	m.open("switch StlbStatus {")
+	m.open("Hit => {")
+	m.line("incr %s.stlb_hit;", m.t)
+	m.line("switch PageSize { P4K => incr %s.stlb_hit_4k; P2M => incr %s.stlb_hit_2m; P1G => pass; };", m.t, m.t)
+	m.retInc(false)
+	m.line("done;")
+	m.close(";")
+	m.open("Miss => {")
+	m.abortGate(m.f.AbortAfterL2TLB, "AbortAtL2TLB")
+	m.pfAttach(TriggerSTLBMiss)
+	if m.f.EarlyPSC {
+		m.pdeLookup()
+		m.abortGate(m.f.AbortAfterPSC, "AbortAtPSC")
+	}
+	if m.f.Merging {
+		m.open("switch Merged {")
+		m.open("Yes => {")
+		m.retInc(true)
+		m.line("done;")
+		m.close(";")
+		m.line("No => pass;")
+		m.close(";")
+	}
+	m.line("incr %s.causes_walk;", m.t)
+	if !m.f.EarlyPSC {
+		m.pdeLookup()
+	}
+	m.open("switch Retired {")
+	m.open("Yes => {")
+	m.walkDone()
+	m.line("incr %s.ret;", m.t)
+	m.line("incr %s.ret_stlb_miss;", m.t)
+	m.line("done;")
+	m.close(";")
+	m.open("No => switch WalkOutcome {")
+	m.open("Done => {")
+	m.walkDone()
+	m.line("done;")
+	m.close(";")
+	m.open("Abort => {")
+	if m.f.ConservativeAborts {
+		m.conservativeAbortRefs()
+	} else {
+		m.partialRefs("Abort")
+	}
+	m.line("done;")
+	m.close(";")
+	m.close(";") // WalkOutcome
+	m.close(";") // Retired
+	m.close(";") // Stlb Miss
+	m.close(";") // StlbStatus
+	m.close(";") // Dtlb Miss
+	m.close(";") // DtlbStatus
+}
+
+// retInc increments the retirement counters on retired paths; stlbMiss adds
+// ret_stlb_miss (the micro-op's demand access missed the STLB).
+func (m *modelBuilder) retInc(stlbMiss bool) {
+	if stlbMiss {
+		m.line("switch Retired { Yes => { incr %s.ret; incr %s.ret_stlb_miss; }; No => pass; };", m.t, m.t)
+	} else {
+		m.line("switch Retired { Yes => incr %s.ret; No => pass; };", m.t)
+	}
+}
+
+// abortGate lets squashed micro-ops abandon the translation request at this
+// pipeline point (Table 7).
+func (m *modelBuilder) abortGate(enabled bool, prop string) {
+	if !enabled {
+		return
+	}
+	m.line("switch Retired { Yes => pass; No => switch %s { Yes => done; No => pass; }; };", prop)
+}
+
+// pdeLookup is the PDE-cache probe of a translation request. Only 4K
+// regions can hit; 2M and 1G probes always miss because the PDE cache
+// holds non-leaf entries only.
+func (m *modelBuilder) pdeLookup() {
+	m.open("switch PageSize {")
+	m.line("P4K => switch Pde$Status { Hit => pass; Miss => incr %s.pde$_miss; };", m.t)
+	m.line("P2M => incr %s.pde$_miss;", m.t)
+	m.line("P1G => incr %s.pde$_miss;", m.t)
+	m.close(";")
+}
+
+// walkDone emits the completion counters followed by the walk's memory
+// references (or the bypass alternative).
+func (m *modelBuilder) walkDone() {
+	m.line("incr %s.walk_done;", m.t)
+	m.line("switch PageSize { P4K => incr %s.walk_done_4k; P2M => incr %s.walk_done_2m; P1G => incr %s.walk_done_1g; };", m.t, m.t, m.t)
+	if m.f.WalkBypass {
+		m.open("switch Bypassed {")
+		m.open("Yes => {")
+		// A machine-cleared-then-replayed walk completes without counted
+		// references, but the cleared attempt may already have issued a
+		// partial prefix.
+		m.partialRefs("Bypass")
+		m.close(";")
+		m.open("No => {")
+		m.fullRefs()
+		m.close(";")
+		m.close(";")
+	} else {
+		m.fullRefs()
+	}
+}
+
+// fullRefs emits the complete walk's references, with the count determined
+// by page size and paging-structure cache hits.
+func (m *modelBuilder) fullRefs() {
+	m.open("switch PageSize {")
+	m.open("P4K => switch Pde$Status {")
+	m.line("Hit => %s", m.refs("D4kHit", 1))
+	m.open("Miss => switch Pdpte$Status {")
+	m.line("Hit => { incr %s.pdpte$_hit; %s };", m.t, m.refsInline("D4kPdpte", 2))
+	m.open("Miss => {")
+	m.line("incr %s.pdpte$_miss;", m.t)
+	if m.f.PML4ECache {
+		m.open("switch Pml4e$Status {")
+		m.line("Hit => %s", m.refs("D4kPml4e", 3))
+		m.line("Miss => { incr %s.pml4e$_miss; %s };", m.t, m.refsInline("D4kFull", 4))
+		m.close(";")
+	} else {
+		m.line("%s", m.refsInline("D4kFull", 4))
+	}
+	m.close(";") // 4K Pdpte Miss
+	m.close(";") // Pdpte switch
+	m.close(";") // Pde switch
+	m.open("P2M => switch Pdpte$Status {")
+	m.line("Hit => { incr %s.pdpte$_hit; %s };", m.t, m.refsInline("D2mHit", 1))
+	m.open("Miss => {")
+	m.line("incr %s.pdpte$_miss;", m.t)
+	if m.f.PML4ECache {
+		m.open("switch Pml4e$Status {")
+		m.line("Hit => %s", m.refs("D2mPml4e", 2))
+		m.line("Miss => { incr %s.pml4e$_miss; %s };", m.t, m.refsInline("D2mFull", 3))
+		m.close(";")
+	} else {
+		m.line("%s", m.refsInline("D2mFull", 3))
+	}
+	m.close(";")
+	m.close(";") // P2M switch
+	if m.f.PML4ECache {
+		m.open("P1G => switch Pml4e$Status {")
+		m.line("Hit => %s", m.refs("D1gPml4e", 1))
+		m.line("Miss => { incr %s.pml4e$_miss; %s };", m.t, m.refsInline("D1gFull", 2))
+		m.close(";")
+	} else {
+		m.line("P1G => %s", m.refs("D1gFull", 2))
+	}
+	m.close(";") // PageSize
+}
+
+// refs renders n walker references as a single DSL statement (with
+// trailing semicolon) under the given context tag.
+func (m *modelBuilder) refs(ctx string, n int) string {
+	return "{ " + m.refsInline(ctx, n) + " };"
+}
+
+// refsInline renders n walker references without braces.
+func (m *modelBuilder) refsInline(ctx string, n int) string {
+	var parts []string
+	for i := 1; i <= n; i++ {
+		parts = append(parts, m.oneRef(ctx, i))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m *modelBuilder) oneRef(ctx string, i int) string {
+	if m.f.RefMode == RefsAggregate {
+		return "incr walk_ref;"
+	}
+	prop := fmt.Sprintf("%sRef%dLvl", ctx, i)
+	return fmt.Sprintf("switch %s { L1 => incr walk_ref.l1; L2 => incr walk_ref.l2; L3 => incr walk_ref.l3; Mem => incr walk_ref.mem; };", prop)
+}
+
+// conservativeAbortRefs emits the conventional-model abort prefix: at least
+// one reference, at most the walk's PSC-determined depth.
+func (m *modelBuilder) conservativeAbortRefs() {
+	depthSwitch := func(ctx string, max int) {
+		if max == 1 {
+			m.line("%s", m.refsInline(ctx, 1))
+			return
+		}
+		m.open("switch %sDepth {", ctx)
+		for k := 1; k <= max; k++ {
+			m.line("D%d => %s", k, m.refs(fmt.Sprintf("%sD%d", ctx, k), k))
+		}
+		m.close(";")
+	}
+	m.open("switch PageSize {")
+	m.open("P4K => switch Pde$Status {")
+	m.line("Hit => %s", m.refs("A4kHit", 1))
+	m.open("Miss => {")
+	depthSwitch("A4k", 4)
+	m.close(";")
+	m.close(";") // Pde$Status
+	m.open("P2M => {")
+	depthSwitch("A2m", 3)
+	m.close(";")
+	m.open("P1G => {")
+	depthSwitch("A1g", 2)
+	m.close(";")
+	m.close(";") // PageSize
+}
+
+// partialRefs emits 0–3 references (the prefix an aborted or cleared walk
+// issued before stopping).
+func (m *modelBuilder) partialRefs(ctx string) {
+	m.open("switch %sRefs {", ctx)
+	m.line("R0 => pass;")
+	for k := 1; k <= 3; k++ {
+		m.line("R%d => %s", k, m.refs(ctx+fmt.Sprint(k), k))
+	}
+	m.close(";")
+}
+
+// pfAttach emits the prefetch trigger block when the model's trigger point
+// matches the current pipeline location.
+func (m *modelBuilder) pfAttach(at TriggerPoint) {
+	f := m.f
+	if !f.TLBPrefetch || f.PfTrigger != at {
+		return
+	}
+	if (m.t == "load" && !f.PfLoads) || (m.t == "store" && !f.PfStores) {
+		return
+	}
+	if f.PfSpec {
+		m.pfBlock()
+		return
+	}
+	// Non-speculative trigger: only retired micro-ops may carry a prefetch.
+	m.open("switch Retired {")
+	m.open("Yes => {")
+	m.pfBlock()
+	m.close(";")
+	m.line("No => pass;")
+	m.close(";")
+}
+
+// pfBlock is one optional TLB prefetch riding the current micro-op: a PDE
+// cache lookup (load-side counter — the prefetcher lives in the load
+// pipeline) and 1–4 injected walker references; prefetch walks never
+// complete as demand walks, so no causes_walk or walk_done.
+func (m *modelBuilder) pfBlock() {
+	m.open("switch PfTriggered {")
+	m.line("No => pass;")
+	m.open("Yes => {")
+	m.open("switch PageSize {")
+	m.line("P4K => switch PfPde$Status { Hit => pass; Miss => incr load.pde$_miss; };")
+	m.line("P2M => incr load.pde$_miss;")
+	m.line("P1G => incr load.pde$_miss;")
+	m.close(";")
+	m.open("switch PfDepth {")
+	for d := 1; d <= 4; d++ {
+		m.line("D%d => %s", d, m.refs(fmt.Sprintf("Pf%d", d), d))
+	}
+	m.close(";")
+	m.close(";") // Yes
+	m.close(";") // PfTriggered
+}
+
+// FeatureString renders the feature set compactly, e.g.
+// "pf(spec,load,lsq)+epsc+merge+bypass".
+func FeatureString(f ModelFeatures) string {
+	var parts []string
+	if f.TLBPrefetch {
+		var pf []string
+		if f.PfSpec {
+			pf = append(pf, "spec")
+		}
+		if f.PfLoads {
+			pf = append(pf, "load")
+		}
+		if f.PfStores {
+			pf = append(pf, "store")
+		}
+		pf = append(pf, f.PfTrigger.String())
+		parts = append(parts, "pf("+strings.Join(pf, ",")+")")
+	}
+	if f.EarlyPSC {
+		parts = append(parts, "epsc")
+	}
+	if f.Merging {
+		parts = append(parts, "merge")
+	}
+	if f.PML4ECache {
+		parts = append(parts, "pml4e")
+	}
+	if f.WalkBypass {
+		parts = append(parts, "bypass")
+	}
+	if f.AbortAfterPSC {
+		parts = append(parts, "abort-psc")
+	}
+	if f.AbortAfterL2TLB {
+		parts = append(parts, "abort-l2tlb")
+	}
+	if f.AbortAfterL1TLB {
+		parts = append(parts, "abort-l1tlb")
+	}
+	if len(parts) == 0 {
+		return "baseline"
+	}
+	return strings.Join(parts, "+")
+}
+
+// BuildDiagram compiles the feature set's DSL into a μDD.
+func BuildDiagram(name string, f ModelFeatures) (*mudd.Diagram, error) {
+	return dsl.Compile(name, GenerateDSL(f))
+}
+
+// BuildModel compiles the feature set into a core.Model over set (nil set
+// uses the model's own counters).
+func BuildModel(name string, f ModelFeatures, set *counters.Set) (*core.Model, error) {
+	d, err := BuildDiagram(name, f)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewModel(name, d, set)
+}
+
+// AnalysisSet returns the counter set used for corpus-scale model
+// evaluation: the 22 Ret/STLB/Walk events plus the walk_ref aggregate.
+func AnalysisSet() *counters.Set {
+	reg := counters.NewHaswellRegistry(false)
+	var evs []counters.Event
+	for _, g := range []counters.Group{counters.GroupRet, counters.GroupSTLB, counters.GroupWalk} {
+		evs = append(evs, reg.GroupEvents(g)...)
+	}
+	evs = append(evs, AggregateWalkRef)
+	return counters.NewSet(evs...)
+}

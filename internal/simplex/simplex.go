@@ -1,0 +1,398 @@
+// Package simplex implements an exact two-phase primal simplex solver over
+// the rationals.
+//
+// CounterPoint uses linear programming in three places (paper §4, §6 and
+// Appendix A): deciding whether a counter confidence region intersects a
+// model cone, pruning μpath counter signatures that lie in the interior of
+// the cone, and testing individual constraint half-spaces. The paper uses
+// pulp; we use this exact solver so that feasibility verdicts carry no
+// floating-point ambiguity. Bland's rule guarantees termination.
+package simplex
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/exact"
+)
+
+// Sense selects the optimisation direction.
+type Sense int
+
+// Optimisation senses.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // ≤
+	GE            // ≥
+	EQ            // =
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	}
+	return "?"
+}
+
+// Constraint is one linear constraint Coeffs·x Rel RHS.
+type Constraint struct {
+	Coeffs exact.Vec
+	Rel    Rel
+	RHS    *big.Rat
+}
+
+// Problem is a linear program. Variables are non-negative unless marked
+// free. A nil Objective means a pure feasibility problem.
+type Problem struct {
+	NumVars     int
+	Sense       Sense
+	Objective   exact.Vec
+	Constraints []Constraint
+	Free        []bool // optional; len NumVars if non-nil
+}
+
+// NewProblem returns an empty problem with n non-negative variables.
+func NewProblem(n int) *Problem {
+	return &Problem{NumVars: n}
+}
+
+// AddConstraint appends coeffs·x rel rhs. Coeffs is cloned.
+func (p *Problem) AddConstraint(coeffs exact.Vec, rel Rel, rhs *big.Rat) {
+	if len(coeffs) != p.NumVars {
+		panic(fmt.Sprintf("simplex: constraint width %d != vars %d", len(coeffs), p.NumVars))
+	}
+	p.Constraints = append(p.Constraints, Constraint{
+		Coeffs: coeffs.Clone(), Rel: rel, RHS: new(big.Rat).Set(rhs),
+	})
+}
+
+// MarkFree declares variable i free (unrestricted in sign).
+func (p *Problem) MarkFree(i int) {
+	if p.Free == nil {
+		p.Free = make([]bool, p.NumVars)
+	}
+	p.Free[i] = true
+}
+
+// Status reports the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	}
+	return "unknown"
+}
+
+// Result holds the solver outcome. X and Objective are valid only when
+// Status == Optimal.
+type Result struct {
+	Status    Status
+	X         exact.Vec
+	Objective *big.Rat
+}
+
+// tableau is the standard-form working representation:
+// minimise c·y subject to A·y = b, y ≥ 0, b ≥ 0.
+type tableau struct {
+	a     []exact.Vec // m rows, each of width n
+	b     exact.Vec   // m
+	c     exact.Vec   // n (phase-2 costs)
+	basis []int       // m basic variable indices
+	n, m  int
+	// frozen, when positive, is the first column index that may not enter
+	// the basis (locks artificial columns out during phase 2).
+	frozen int
+}
+
+// Solve solves the problem. A nil objective is treated as the zero
+// objective (feasibility only).
+func Solve(p *Problem) Result {
+	obj := p.Objective
+	if obj == nil {
+		obj = exact.NewVec(p.NumVars)
+	}
+	if len(obj) != p.NumVars {
+		panic("simplex: objective width mismatch")
+	}
+
+	// Map original variables to standard-form columns. Free variables
+	// split into positive and negative parts.
+	type varMap struct{ pos, neg int }
+	maps := make([]varMap, p.NumVars)
+	n := 0
+	for i := 0; i < p.NumVars; i++ {
+		maps[i].pos = n
+		n++
+		if p.Free != nil && p.Free[i] {
+			maps[i].neg = n
+			n++
+		} else {
+			maps[i].neg = -1
+		}
+	}
+	m := len(p.Constraints)
+
+	// Count slack columns.
+	slackCol := make([]int, m)
+	for i, con := range p.Constraints {
+		if con.Rel == EQ {
+			slackCol[i] = -1
+		} else {
+			slackCol[i] = n
+			n++
+		}
+	}
+
+	t := &tableau{n: n + m, m: m} // + m artificial columns
+	t.a = make([]exact.Vec, m)
+	t.b = exact.NewVec(m)
+	t.basis = make([]int, m)
+	negOne := big.NewRat(-1, 1)
+
+	for i, con := range p.Constraints {
+		row := exact.NewVec(t.n)
+		for j := 0; j < p.NumVars; j++ {
+			if con.Coeffs[j].Sign() == 0 {
+				continue
+			}
+			row[maps[j].pos].Set(con.Coeffs[j])
+			if maps[j].neg >= 0 {
+				row[maps[j].neg].Neg(con.Coeffs[j])
+			}
+		}
+		rhs := new(big.Rat).Set(con.RHS)
+		switch con.Rel {
+		case LE:
+			row[slackCol[i]].SetInt64(1)
+		case GE:
+			row[slackCol[i]].SetInt64(-1)
+		}
+		// ensure b >= 0
+		if rhs.Sign() < 0 {
+			for j := range row {
+				row[j].Mul(row[j], negOne)
+			}
+			rhs.Neg(rhs)
+		}
+		// artificial variable for row i
+		art := n + i
+		row[art].SetInt64(1)
+		t.a[i] = row
+		t.b[i].Set(rhs)
+		t.basis[i] = art
+	}
+
+	// Phase 1: minimise sum of artificials.
+	phase1 := exact.NewVec(t.n)
+	for i := 0; i < m; i++ {
+		phase1[n+i].SetInt64(1)
+	}
+	t.c = phase1
+	if st := t.optimize(); st == Unbounded {
+		// Phase-1 objective is bounded below by 0; unbounded cannot happen.
+		panic("simplex: phase 1 unbounded")
+	}
+	if t.objectiveValue().Sign() > 0 {
+		return Result{Status: Infeasible}
+	}
+	// Drive remaining artificials out of the basis where possible.
+	t.expelArtificials(n)
+
+	// Phase 2: original objective over standard-form columns; artificial
+	// columns get prohibitive handling by freezing them at zero (they are
+	// nonbasic or basic at zero after phase 1; we simply forbid entering).
+	c2 := exact.NewVec(t.n)
+	for j := 0; j < p.NumVars; j++ {
+		c2[maps[j].pos].Set(obj[j])
+		if maps[j].neg >= 0 {
+			c2[maps[j].neg].Neg(obj[j])
+		}
+	}
+	if p.Sense == Maximize {
+		for j := range c2 {
+			c2[j].Neg(c2[j])
+		}
+	}
+	t.c = c2
+	t.frozen = n // columns ≥ n (artificials) may not enter
+	if st := t.optimize(); st == Unbounded {
+		return Result{Status: Unbounded}
+	}
+
+	// Extract solution.
+	y := exact.NewVec(t.n)
+	for i, bi := range t.basis {
+		y[bi].Set(t.b[i])
+	}
+	x := exact.NewVec(p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		x[j].Set(y[maps[j].pos])
+		if maps[j].neg >= 0 {
+			x[j].Sub(x[j], y[maps[j].neg])
+		}
+	}
+	objVal := obj.Dot(x)
+	return Result{Status: Optimal, X: x, Objective: objVal}
+}
+
+// optimize runs Bland-rule primal simplex on the current tableau/costs.
+func (t *tableau) optimize() Status {
+	for iter := 0; ; iter++ {
+		col := t.enteringColumn()
+		if col < 0 {
+			return Optimal
+		}
+		row := t.leavingRow(col)
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// enteringColumn returns the lowest-index column with negative reduced
+// cost (Bland's rule), or -1 at optimality.
+func (t *tableau) enteringColumn() int {
+	// reduced cost r_j = c_j - cB · B^-1 A_j; with explicit tableau the
+	// rows of t.a are already B^-1 A, so r_j = c_j - Σ_i c_basis[i]·a[i][j].
+	limit := t.n
+	if t.frozen > 0 {
+		limit = t.frozen
+	}
+	r := new(big.Rat)
+	tmp := new(big.Rat)
+	for j := 0; j < limit; j++ {
+		if t.isBasic(j) {
+			continue
+		}
+		r.Set(t.c[j])
+		for i := 0; i < t.m; i++ {
+			cb := t.c[t.basis[i]]
+			if cb.Sign() == 0 || t.a[i][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(cb, t.a[i][j])
+			r.Sub(r, tmp)
+		}
+		if r.Sign() < 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+func (t *tableau) isBasic(j int) bool {
+	for _, b := range t.basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}
+
+// leavingRow performs the minimum-ratio test with Bland tie-breaking
+// (lowest basis index), or -1 if the column is unbounded.
+func (t *tableau) leavingRow(col int) int {
+	best := -1
+	var bestRatio *big.Rat
+	ratio := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if t.a[i][col].Sign() <= 0 {
+			continue
+		}
+		ratio.Quo(t.b[i], t.a[i][col])
+		if best < 0 || ratio.Cmp(bestRatio) < 0 ||
+			(ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[best]) {
+			best = i
+			bestRatio = new(big.Rat).Set(ratio)
+		}
+	}
+	return best
+}
+
+// pivot performs a full tableau pivot at (row, col).
+func (t *tableau) pivot(row, col int) {
+	inv := new(big.Rat).Inv(t.a[row][col])
+	for j := 0; j < t.n; j++ {
+		t.a[row][j].Mul(t.a[row][j], inv)
+	}
+	t.b[row].Mul(t.b[row], inv)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == row || t.a[i][col].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(t.a[i][col])
+		for j := 0; j < t.n; j++ {
+			if t.a[row][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(factor, t.a[row][j])
+			t.a[i][j].Sub(t.a[i][j], tmp)
+		}
+		tmp.Mul(factor, t.b[row])
+		t.b[i].Sub(t.b[i], tmp)
+	}
+	t.basis[row] = col
+}
+
+// objectiveValue returns c·y for the current basic solution.
+func (t *tableau) objectiveValue() *big.Rat {
+	v := new(big.Rat)
+	tmp := new(big.Rat)
+	for i, bi := range t.basis {
+		if t.c[bi].Sign() == 0 {
+			continue
+		}
+		tmp.Mul(t.c[bi], t.b[i])
+		v.Add(v, tmp)
+	}
+	return v
+}
+
+// expelArtificials pivots basic artificial variables (columns ≥ firstArt)
+// out of the basis when a non-artificial pivot column exists; rows that are
+// entirely zero over real columns are redundant and left in place (the
+// artificial stays basic at value zero, harmlessly).
+func (t *tableau) expelArtificials(firstArt int) {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < firstArt {
+			continue
+		}
+		if t.b[i].Sign() != 0 {
+			continue // should not happen after a zero phase-1 optimum
+		}
+		for j := 0; j < firstArt; j++ {
+			if t.a[i][j].Sign() != 0 && !t.isBasic(j) {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

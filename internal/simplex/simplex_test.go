@@ -1,0 +1,200 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestMaximizeBasic(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 → x=4, y=0, obj 12.
+	p := NewProblem(2)
+	p.Sense = Maximize
+	p.Objective = exact.VecFromInts(3, 2)
+	p.AddConstraint(exact.VecFromInts(1, 1), LE, rat(4, 1))
+	p.AddConstraint(exact.VecFromInts(1, 3), LE, rat(6, 1))
+	res := Solve(p)
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Objective.Cmp(rat(12, 1)) != 0 {
+		t.Fatalf("objective %s, want 12", res.Objective.RatString())
+	}
+}
+
+func TestMinimizeWithGE(t *testing.T) {
+	// min x + y s.t. x + 2y >= 4, 3x + y >= 6 → intersection (8/5, 6/5), obj 14/5.
+	p := NewProblem(2)
+	p.Sense = Minimize
+	p.Objective = exact.VecFromInts(1, 1)
+	p.AddConstraint(exact.VecFromInts(1, 2), GE, rat(4, 1))
+	p.AddConstraint(exact.VecFromInts(3, 1), GE, rat(6, 1))
+	res := Solve(p)
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Objective.Cmp(rat(14, 5)) != 0 {
+		t.Fatalf("objective %s, want 14/5", res.Objective.RatString())
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2 cannot both hold.
+	p := NewProblem(1)
+	p.AddConstraint(exact.VecFromInts(1), LE, rat(1, 1))
+	p.AddConstraint(exact.VecFromInts(1), GE, rat(2, 1))
+	if res := Solve(p); res.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", res.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	// max x s.t. x >= 0 only.
+	p := NewProblem(1)
+	p.Sense = Maximize
+	p.Objective = exact.VecFromInts(1)
+	p.AddConstraint(exact.VecFromInts(1), GE, rat(0, 1))
+	if res := Solve(p); res.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", res.Status)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// max x + y s.t. x + y = 3, x <= 2 → obj 3.
+	p := NewProblem(2)
+	p.Sense = Maximize
+	p.Objective = exact.VecFromInts(1, 1)
+	p.AddConstraint(exact.VecFromInts(1, 1), EQ, rat(3, 1))
+	p.AddConstraint(exact.VecFromInts(1, 0), LE, rat(2, 1))
+	res := Solve(p)
+	if res.Status != Optimal || res.Objective.Cmp(rat(3, 1)) != 0 {
+		t.Fatalf("got %v obj=%v", res.Status, res.Objective)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min x with x free and x >= -5 → x = -5.
+	p := NewProblem(1)
+	p.MarkFree(0)
+	p.Sense = Minimize
+	p.Objective = exact.VecFromInts(1)
+	p.AddConstraint(exact.VecFromInts(1), GE, rat(-5, 1))
+	res := Solve(p)
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.X[0].Cmp(rat(-5, 1)) != 0 {
+		t.Fatalf("x = %s, want -5", res.X[0].RatString())
+	}
+}
+
+func TestFeasibilityOnly(t *testing.T) {
+	// No objective: just decide feasibility of x + y = 2, x,y >= 0.
+	p := NewProblem(2)
+	p.AddConstraint(exact.VecFromInts(1, 1), EQ, rat(2, 1))
+	res := Solve(p)
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	sum := new(big.Rat).Add(res.X[0], res.X[1])
+	if sum.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("solution violates constraint: %v", res.X)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// -x <= -3 means x >= 3; min x → 3.
+	p := NewProblem(1)
+	p.Sense = Minimize
+	p.Objective = exact.VecFromInts(1)
+	p.AddConstraint(exact.VecFromInts(-1), LE, rat(-3, 1))
+	res := Solve(p)
+	if res.Status != Optimal || res.X[0].Cmp(rat(3, 1)) != 0 {
+		t.Fatalf("got %v x=%v", res.Status, res.X)
+	}
+}
+
+func TestDegenerateCycleGuard(t *testing.T) {
+	// The classic Beale cycling example; Bland's rule must terminate.
+	p := NewProblem(4)
+	p.Sense = Minimize
+	p.Objective = exact.Vec{rat(-3, 4), rat(150, 1), rat(-1, 50), rat(6, 1)}
+	p.AddConstraint(exact.Vec{rat(1, 4), rat(-60, 1), rat(-1, 25), rat(9, 1)}, LE, rat(0, 1))
+	p.AddConstraint(exact.Vec{rat(1, 2), rat(-90, 1), rat(-1, 50), rat(3, 1)}, LE, rat(0, 1))
+	p.AddConstraint(exact.Vec{rat(0, 1), rat(0, 1), rat(1, 1), rat(0, 1)}, LE, rat(1, 1))
+	res := Solve(p)
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Objective.Cmp(rat(-1, 20)) != 0 {
+		t.Fatalf("objective %s, want -1/20", res.Objective.RatString())
+	}
+}
+
+func TestRedundantEquality(t *testing.T) {
+	// Duplicate equality rows exercise the artificial-expulsion path.
+	p := NewProblem(2)
+	p.Sense = Maximize
+	p.Objective = exact.VecFromInts(1, 0)
+	p.AddConstraint(exact.VecFromInts(1, 1), EQ, rat(2, 1))
+	p.AddConstraint(exact.VecFromInts(2, 2), EQ, rat(4, 1))
+	res := Solve(p)
+	if res.Status != Optimal || res.Objective.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("got %v obj=%v", res.Status, res.Objective)
+	}
+}
+
+func TestSolutionSatisfiesConstraintsRandom(t *testing.T) {
+	// Property: whenever Solve reports Optimal, the returned point satisfies
+	// every constraint exactly.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		nv := rng.Intn(4) + 1
+		nc := rng.Intn(5) + 1
+		p := NewProblem(nv)
+		p.Sense = Sense(rng.Intn(2))
+		obj := exact.NewVec(nv)
+		for i := range obj {
+			obj[i].SetInt64(int64(rng.Intn(7) - 3))
+		}
+		p.Objective = obj
+		for c := 0; c < nc; c++ {
+			coeffs := exact.NewVec(nv)
+			for i := range coeffs {
+				coeffs[i].SetInt64(int64(rng.Intn(7) - 3))
+			}
+			rel := Rel(rng.Intn(3))
+			p.AddConstraint(coeffs, rel, rat(int64(rng.Intn(11)-5), 1))
+		}
+		res := Solve(p)
+		if res.Status != Optimal {
+			continue
+		}
+		for ci, con := range p.Constraints {
+			lhs := con.Coeffs.Dot(res.X)
+			cmp := lhs.Cmp(con.RHS)
+			bad := false
+			switch con.Rel {
+			case LE:
+				bad = cmp > 0
+			case GE:
+				bad = cmp < 0
+			case EQ:
+				bad = cmp != 0
+			}
+			if bad {
+				t.Fatalf("trial %d: constraint %d violated: %s %s %s",
+					trial, ci, lhs.RatString(), con.Rel, con.RHS.RatString())
+			}
+		}
+		for i, x := range res.X {
+			if (p.Free == nil || !p.Free[i]) && x.Sign() < 0 {
+				t.Fatalf("trial %d: x[%d]=%s negative", trial, i, x.RatString())
+			}
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChiSquareQuantile returns the p-quantile of the χ² distribution with df
+// degrees of freedom, i.e. the x with P(X ≤ x) = p. This is the χ²_{N,1−α}
+// factor scaling CounterPoint's confidence ellipsoids (Appendix A).
+//
+// The quantile is computed by inverting the regularised lower incomplete
+// gamma function P(df/2, x/2) with a Wilson–Hilferty initial guess refined
+// by bisection-safeguarded Newton iteration.
+func ChiSquareQuantile(p float64, df int) (float64, error) {
+	if df <= 0 {
+		return 0, fmt.Errorf("stats: chi-square df must be positive, got %d", df)
+	}
+	if p <= 0 {
+		return 0, nil
+	}
+	if p >= 1 {
+		return 0, fmt.Errorf("stats: chi-square quantile requires p < 1, got %g", p)
+	}
+	k := float64(df)
+	// Wilson–Hilferty approximation.
+	z := normalQuantile(p)
+	h := 2.0 / (9.0 * k)
+	x := k * math.Pow(1-h+z*math.Sqrt(h), 3)
+	if x <= 0 {
+		x = 1e-8
+	}
+
+	cdf := func(x float64) float64 { return regularizedGammaP(k/2, x/2) }
+
+	// Bracket the root.
+	lo, hi := 0.0, x
+	for cdf(hi) < p {
+		lo = hi
+		hi *= 2
+		if hi > 1e12 {
+			return 0, fmt.Errorf("stats: chi-square quantile failed to bracket (p=%g, df=%d)", p, df)
+		}
+	}
+	// Newton with bisection fallback.
+	for iter := 0; iter < 200; iter++ {
+		f := cdf(x) - p
+		if math.Abs(f) < 1e-13 {
+			return x, nil
+		}
+		if f > 0 {
+			hi = x
+		} else {
+			lo = x
+		}
+		pdf := chiSquarePDF(x, k)
+		var next float64
+		if pdf > 0 {
+			next = x - f/pdf
+		}
+		if pdf <= 0 || next <= lo || next >= hi {
+			next = (lo + hi) / 2
+		}
+		if math.Abs(next-x) < 1e-12*(1+x) {
+			return next, nil
+		}
+		x = next
+	}
+	return x, nil
+}
+
+func chiSquarePDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	half := k / 2
+	logPDF := (half-1)*math.Log(x) - x/2 - half*math.Ln2 - logGamma(half)
+	return math.Exp(logPDF)
+}
+
+// normalQuantile is the Acklam approximation to the standard normal inverse
+// CDF, accurate to ~1e-9 — only used as an initial guess.
+func normalQuantile(p float64) float64 {
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	pl, ph := 0.02425, 1-0.02425
+	switch {
+	case p < pl:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= ph:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// regularizedGammaP computes P(a, x) = γ(a, x)/Γ(a) by series expansion for
+// x < a+1 and by continued fraction otherwise (Numerical Recipes §6.2).
+func regularizedGammaP(a, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x < a+1 {
+		return gammaSeries(a, x)
+	}
+	return 1 - gammaContinuedFraction(a, x)
+}
+
+func gammaSeries(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	ap := a
+	sum := 1.0 / a
+	del := sum
+	for n := 0; n < itmax; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-logGamma(a))
+}
+
+func gammaContinuedFraction(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-logGamma(a)) * h
+}
+
+// logGamma is the Lanczos approximation to ln Γ(x) for x > 0.
+func logGamma(x float64) float64 {
+	g := []float64{76.18009172947146, -86.50532032941677, 24.01409824083091,
+		-1.231739572450155, 0.1208650973866179e-2, -0.5395239384953e-5}
+	y := x
+	tmp := x + 5.5
+	tmp -= (x + 0.5) * math.Log(tmp)
+	ser := 1.000000000190015
+	for j := 0; j < 6; j++ {
+		y++
+		ser += g[j] / y
+	}
+	return -tmp + math.Log(2.5066282746310005*ser/x)
+}

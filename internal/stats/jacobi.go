@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Eigen holds the eigendecomposition of a symmetric matrix: Values[i] is
+// the i-th eigenvalue and Vectors[i] the corresponding unit eigenvector
+// (stored as rows), sorted by descending eigenvalue.
+type Eigen struct {
+	Values  []float64
+	Vectors [][]float64
+}
+
+// jacobiMaxSweeps bounds the cyclic Jacobi iteration count.
+const jacobiMaxSweeps = 100
+
+// SymmetricEigen computes the eigendecomposition of a symmetric matrix with
+// the cyclic Jacobi rotation method. The input is not modified. Jacobi is
+// slow for huge matrices but numerically robust and dependency-free, and
+// CounterPoint's covariance matrices are at most a few dozen wide.
+func SymmetricEigen(m [][]float64) (*Eigen, error) {
+	if err := checkSquare(m); err != nil {
+		return nil, err
+	}
+	n := len(m)
+	// Working copy a; accumulated rotations v (columns are eigenvectors).
+	a := make([][]float64, n)
+	v := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = make([]float64, n)
+		copy(a[i], m[i])
+		v[i] = make([]float64, n)
+		v[i][i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if math.Abs(a[i][j]-a[j][i]) > 1e-9*(1+math.Abs(a[i][j])) {
+				return nil, fmt.Errorf("stats: matrix not symmetric at (%d,%d): %g vs %g", i, j, a[i][j], a[j][i])
+			}
+		}
+	}
+
+	off := func() float64 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s += a[i][j] * a[i][j]
+			}
+		}
+		return s
+	}
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			norm += a[i][j] * a[i][j]
+		}
+	}
+	tol := 1e-24 * (norm + 1)
+
+	for sweep := 0; sweep < jacobiMaxSweeps && off() > tol; sweep++ {
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p][q]
+				if apq == 0 {
+					continue
+				}
+				// Rotation angle from the standard Jacobi formulas.
+				theta := (a[q][q] - a[p][p]) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to a (both sides) and accumulate in v.
+				for k := 0; k < n; k++ {
+					akp, akq := a[k][p], a[k][q]
+					a[k][p] = c*akp - s*akq
+					a[k][q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p][k], a[q][k]
+					a[p][k] = c*apk - s*aqk
+					a[q][k] = s*apk + c*aqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k][p], v[k][q]
+					v[k][p] = c*vkp - s*vkq
+					v[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+
+	eig := &Eigen{Values: make([]float64, n), Vectors: make([][]float64, n)}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		diag[i] = a[i][i]
+	}
+	sort.Slice(order, func(x, y int) bool { return diag[order[x]] > diag[order[y]] })
+	for rank, col := range order {
+		eig.Values[rank] = diag[col]
+		vec := make([]float64, n)
+		for row := 0; row < n; row++ {
+			vec[row] = v[row][col]
+		}
+		eig.Vectors[rank] = vec
+	}
+	return eig, nil
+}
