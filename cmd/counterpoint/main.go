@@ -3,44 +3,52 @@
 //
 // A model is a μDD written in the CounterPoint DSL; an observation is a CSV
 // of counter samples (header row of event names, one row per sampling
-// interval, as written by hswsim or converted from perf output).
+// interval, as written by hswsim or converted from perf output). Several
+// observation CSVs — a corpus — may be given; they are evaluated
+// concurrently through one engine session, streaming verdicts as they
+// complete.
 //
 // Usage:
 //
-//	counterpoint -model model.dsl [-obs samples.csv] [flags]
+//	counterpoint -model model.dsl [-obs samples.csv] [more.csv ...] [flags]
 //
 // Flags:
 //
 //	-model path      DSL file describing the μDD (required)
-//	-obs path        observation CSV; omit to only analyse the model
+//	-obs path        observation CSV; positional arguments add more
 //	-constraints     deduce and print the complete model-constraint set
 //	-paths           print every μpath of the μDD
 //	-confidence p    confidence level for feasibility (default 0.99)
 //	-independent     use naive independent confidence regions
+//	-first           stop at the first refuting observation
 //
-// Exit status: 0 when the observation is feasible (or no observation was
-// given), 2 when the model is refuted, 1 on errors.
+// Exit status: 0 when every observation is feasible (or none was given),
+// 2 when the model is refuted, 1 on errors.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/dsl"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
 		modelPath   = flag.String("model", "", "DSL file describing the μDD (required)")
-		obsPath     = flag.String("obs", "", "observation CSV to test")
+		obsPath     = flag.String("obs", "", "observation CSV to test (positional args add more)")
 		showCons    = flag.Bool("constraints", false, "deduce and print all model constraints")
 		showPaths   = flag.Bool("paths", false, "print every μpath")
 		confidence  = flag.Float64("confidence", core.DefaultConfidence, "confidence level")
 		independent = flag.Bool("independent", false, "use independent (naive) confidence regions")
+		first       = flag.Bool("first", false, "stop at the first refuting observation")
 		dot         = flag.Bool("dot", false, "emit the μDD as Graphviz dot and exit")
 		format      = flag.Bool("format", false, "reformat the DSL source to stdout and exit")
 		diffPath    = flag.String("diff", "", "second DSL model: compare model cones and exit")
@@ -60,7 +68,12 @@ func main() {
 		}
 		return
 	}
-	if err := run(*modelPath, *obsPath, *showCons, *showPaths, *confidence, *independent); err != nil {
+	var obsPaths []string
+	if *obsPath != "" {
+		obsPaths = append(obsPaths, *obsPath)
+	}
+	obsPaths = append(obsPaths, flag.Args()...)
+	if err := run(*modelPath, obsPaths, *showCons, *showPaths, *confidence, *independent, *first); err != nil {
 		fmt.Fprintln(os.Stderr, "counterpoint:", err)
 		if err == errRefuted {
 			os.Exit(2)
@@ -161,7 +174,7 @@ func diffModels(pathA, pathB string) error {
 	return nil
 }
 
-func run(modelPath, obsPath string, showCons, showPaths bool, confidence float64, independent bool) error {
+func run(modelPath string, obsPaths []string, showCons, showPaths bool, confidence float64, independent bool, first bool) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required (see -h)")
 	}
@@ -174,24 +187,20 @@ func run(modelPath, obsPath string, showCons, showPaths bool, confidence float64
 		return err
 	}
 
-	var obs *counters.Observation
+	// Analyse over the intersection: events the model talks about that
+	// every observation recorded.
+	var corpus []*counters.Observation
 	set := diagram.Counters()
-	if obsPath != "" {
-		f, err := os.Open(obsPath)
+	for _, path := range obsPaths {
+		o, err := readObservation(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		obs, err = counters.ReadCSV(f, obsPath)
-		if err != nil {
-			return err
-		}
-		// Analyse over the intersection: events the model talks about that
-		// the observation recorded.
-		set = set.Restrict(obs.Set)
+		set = set.Restrict(o.Set)
 		if set.Len() == 0 {
-			return fmt.Errorf("observation shares no counters with the model")
+			return fmt.Errorf("observation %s shares no counters with the model", path)
 		}
+		corpus = append(corpus, o)
 	}
 
 	model, err := core.NewModel(modelPath, diagram, set)
@@ -221,7 +230,7 @@ func run(modelPath, obsPath string, showCons, showPaths bool, confidence float64
 			fmt.Printf("  %s\n", k)
 		}
 	}
-	if obs == nil {
+	if len(corpus) == 0 {
 		return nil
 	}
 
@@ -229,19 +238,66 @@ func run(modelPath, obsPath string, showCons, showPaths bool, confidence float64
 	if independent {
 		mode = stats.Independent
 	}
-	verdict, err := model.TestObservation(obs, confidence, mode, true)
+	sess, err := engine.Default().NewSession(model, engine.Config{
+		Confidence:         confidence,
+		Mode:               mode,
+		IdentifyViolations: true,
+		StopOnInfeasible:   first,
+	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("observation: %s (%d samples, %s regions, %.0f%% confidence)\n",
-		obs.Label, obs.Len(), mode, confidence*100)
-	if verdict.Feasible {
-		fmt.Println("verdict: FEASIBLE — the observation is consistent with the model")
-		return nil
+
+	// Stream the corpus through the session, printing verdicts as they
+	// complete.
+	in := make(chan *counters.Observation, len(corpus))
+	for _, o := range corpus {
+		in <- o
 	}
-	fmt.Println("verdict: INFEASIBLE — the model is refuted at this confidence level")
-	for _, k := range verdict.Violations {
-		fmt.Printf("violated: %s\n", k)
+	close(in)
+	st := sess.EvaluateStream(context.Background(), in)
+	for item := range st.C {
+		if item.Err != nil {
+			continue // reported via Result below
+		}
+		o, v := corpus[item.Index], item.Verdict
+		fmt.Printf("observation: %s (%d samples, %s regions, %.0f%% confidence)\n",
+			o.Label, o.Len(), mode, confidence*100)
+		if v.Feasible {
+			fmt.Println("verdict: FEASIBLE — the observation is consistent with the model")
+			continue
+		}
+		fmt.Println("verdict: INFEASIBLE — the model is refuted at this confidence level")
+		for _, k := range v.Violations {
+			fmt.Printf("violated: %s\n", k)
+		}
 	}
-	return errRefuted
+	res, err := st.Result()
+	if err != nil {
+		return err
+	}
+	if len(corpus) > 1 {
+		fmt.Printf("corpus: %d/%d observations infeasible\n", res.Infeasible, res.Total)
+		keys := make([]string, 0, len(res.ViolatedConstraints))
+		for k := range res.ViolatedConstraints {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("violated by %d observations: %s\n", res.ViolatedConstraints[k], k)
+		}
+	}
+	if res.Infeasible > 0 {
+		return errRefuted
+	}
+	return nil
+}
+
+func readObservation(path string) (*counters.Observation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return counters.ReadCSV(f, path)
 }

@@ -46,35 +46,53 @@ func writeObs(t *testing.T, cw, pm float64) string {
 }
 
 func TestRunModelOnly(t *testing.T) {
-	if err := run(writeModel(t), "", true, true, 0.99, false); err != nil {
+	if err := run(writeModel(t), nil, true, true, 0.99, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFeasible(t *testing.T) {
-	if err := run(writeModel(t), writeObs(t, 1000, 600), false, false, 0.99, false); err != nil {
+	if err := run(writeModel(t), []string{writeObs(t, 1000, 600)}, false, false, 0.99, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRefuted(t *testing.T) {
-	err := run(writeModel(t), writeObs(t, 600, 1000), false, false, 0.99, false)
+	err := run(writeModel(t), []string{writeObs(t, 600, 1000)}, false, false, 0.99, false, false)
 	if err != errRefuted {
 		t.Fatalf("want errRefuted, got %v", err)
 	}
 }
 
+func TestRunCorpus(t *testing.T) {
+	// A mixed corpus streamed through the engine session: the refuting
+	// observation must set the refuted exit condition.
+	obs := []string{
+		writeObs(t, 1000, 600),
+		writeObs(t, 600, 1000),
+		writeObs(t, 900, 500),
+	}
+	if err := run(writeModel(t), obs, false, false, 0.99, false, false); err != errRefuted {
+		t.Fatalf("want errRefuted, got %v", err)
+	}
+	// An all-feasible corpus exits clean, including with -first.
+	ok := []string{writeObs(t, 1000, 600), writeObs(t, 900, 500)}
+	if err := run(writeModel(t), ok, false, false, 0.99, false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunIndependentMode(t *testing.T) {
-	if err := run(writeModel(t), writeObs(t, 1000, 600), false, false, 0.95, true); err != nil {
+	if err := run(writeModel(t), []string{writeObs(t, 1000, 600)}, false, false, 0.95, true, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMissingModel(t *testing.T) {
-	if err := run("", "", false, false, 0.99, false); err == nil {
+	if err := run("", nil, false, false, 0.99, false, false); err == nil {
 		t.Fatal("missing model should error")
 	}
-	if err := run(filepath.Join(t.TempDir(), "nope.dsl"), "", false, false, 0.99, false); err == nil {
+	if err := run(filepath.Join(t.TempDir(), "nope.dsl"), nil, false, false, 0.99, false, false); err == nil {
 		t.Fatal("unreadable model should error")
 	}
 }
@@ -84,7 +102,7 @@ func TestRunBadModel(t *testing.T) {
 	if err := os.WriteFile(path, []byte("bogus;"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "", false, false, 0.99, false); err == nil {
+	if err := run(path, nil, false, false, 0.99, false, false); err == nil {
 		t.Fatal("bad DSL should error")
 	}
 }
@@ -102,7 +120,7 @@ func TestRunDisjointCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(writeModel(t), path, false, false, 0.99, false); err == nil ||
+	if err := run(writeModel(t), []string{path}, false, false, 0.99, false, false); err == nil ||
 		!strings.Contains(err.Error(), "no counters") {
 		t.Fatalf("disjoint counters should error, got %v", err)
 	}

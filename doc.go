@@ -11,19 +11,25 @@
 //
 //   - internal/dsl, internal/mudd — the modelling language and μDDs;
 //   - internal/cone, internal/exact, internal/simplex — exact model-cone
-//     geometry (double description, rational simplex LP);
-//   - internal/stats, internal/multiplex — confidence regions and counter
-//     multiplexing;
-//   - internal/core — the feasibility-testing engine;
-//   - internal/explore — guided model exploration;
+//     geometry (double description, rational simplex LP with reusable
+//     workspaces);
+//   - internal/stats, internal/multiplex — confidence regions (with the
+//     memoising RegionBuilder) and counter multiplexing;
+//   - internal/core — single-verdict feasibility testing;
+//   - internal/engine — the batched feasibility engine: long-lived
+//     Engine/Session pipeline with a bounded worker pool, region/LP
+//     caching, and streaming corpus evaluation;
+//   - internal/explore — guided model exploration over engine sessions;
 //   - internal/haswell, internal/pagetable, internal/memsim,
 //     internal/workloads — the simulated Haswell MMU substrate that stands
 //     in for the paper's silicon;
 //   - internal/experiments — regenerates every table and figure;
 //   - cmd/counterpoint, cmd/hswsim, cmd/experiments — the executables;
-//   - examples/ — runnable walkthroughs of the public API.
+//   - examples/ — runnable walkthroughs of the public API (see
+//     examples/engine for the batched/streaming evaluation API).
 //
 // The benchmarks in bench_test.go regenerate each experiment (Figures 1a–9b
-// and Tables 1–7) under the Go benchmark harness; EXPERIMENTS.md records
-// paper-vs-measured comparisons.
+// and Tables 1–7) under the Go benchmark harness, and
+// internal/engine/bench_test.go records the per-call vs session-cached
+// corpus-evaluation comparison.
 package repro

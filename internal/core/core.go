@@ -1,6 +1,8 @@
-// Package core is CounterPoint's engine: it ties μDDs (package mudd), model
-// cones (package cone), counter confidence regions (package stats) and the
-// exact LP solver (package simplex) into the workflow of Figure 2:
+// Package core is CounterPoint's single-verdict feasibility layer: it ties
+// μDDs (package mudd), model cones (package cone), counter confidence
+// regions (package stats) and the exact LP solver (package simplex) into
+// the workflow of Figure 2 (batched and streaming corpus evaluation sits
+// one layer up, in package engine):
 //
 //	DSL → μDD → model cone → feasibility testing against confidence regions
 //
@@ -16,9 +18,6 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"math/big"
-	"runtime"
 	"sync"
 
 	"repro/internal/cone"
@@ -33,6 +32,10 @@ import (
 // DefaultConfidence is the confidence level used throughout the paper.
 const DefaultConfidence = 0.99
 
+// lpQuantum is the dyadic grid (denominator) the LP slab bounds are
+// quantised onto; see regionIntersectsCone.
+const lpQuantum = 256
+
 // Model is a microarchitectural model under test: a μDD restricted to a
 // counter set of interest.
 type Model struct {
@@ -42,6 +45,13 @@ type Model struct {
 
 	numPaths int
 	kcone    *cone.Cone
+
+	// genOnce/genF cache the cone generators converted to float64 — the
+	// generator-dot-axis coefficient rows of the feasibility LP reuse this
+	// matrix for every observation instead of re-converting each big.Rat
+	// component per verdict.
+	genOnce sync.Once
+	genF    [][]float64
 }
 
 // NewModel builds a Model from a validated μDD. set chooses the HECs under
@@ -113,11 +123,32 @@ type Verdict struct {
 // cone (Appendix A LP). When infeasible and identifyViolations is true, the
 // model constraints are deduced and each is tested against the region.
 func (m *Model) TestRegion(r *stats.Region, identifyViolations bool) (*Verdict, error) {
-	if !r.Set.Equal(m.Set) {
-		return nil, fmt.Errorf("core: region counter set %v does not match model set %v", r.Set, m.Set)
+	return m.TestRegionWS(nil, r, identifyViolations)
+}
+
+// TestRegionWS is TestRegion with an explicit LP workspace. Hot paths (the
+// engine's corpus evaluation) pass a pooled workspace so the rational
+// tableau is reused across verdicts; a nil ws allocates a temporary one.
+func (m *Model) TestRegionWS(ws *simplex.Workspace, r *stats.Region, identifyViolations bool) (*Verdict, error) {
+	if ws == nil {
+		ws = simplex.NewWorkspace()
+	}
+	p := ws.Prepare(0) // RegionLP resets the problem to the generator count
+	if err := m.RegionLP(p, r); err != nil {
+		return nil, err
+	}
+	return m.TestRegionLP(ws, p, r, identifyViolations)
+}
+
+// TestRegionLP completes a verdict for r given its pre-built feasibility
+// LP (see RegionLP). The engine caches the LP per (model, region) so
+// repeated sweeps re-solve without rebuilding constraint rows.
+func (m *Model) TestRegionLP(ws *simplex.Workspace, p *simplex.Problem, r *stats.Region, identifyViolations bool) (*Verdict, error) {
+	if ws == nil {
+		ws = simplex.NewWorkspace()
 	}
 	v := &Verdict{Model: m.Name, Region: r}
-	v.Feasible = m.regionIntersectsCone(r)
+	v.Feasible = ws.SolveStatus(p) == simplex.Optimal
 	if !v.Feasible && identifyViolations {
 		h, err := m.Constraints()
 		if err != nil {
@@ -151,24 +182,51 @@ func (m *Model) TestObservation(o *counters.Observation, confidence float64, mod
 	return verdict, nil
 }
 
-// regionIntersectsCone solves the Appendix A LP with the counter-flow
-// equation substituted in: variables are the flows f ≥ 0 down each cone
-// generator, constrained so that v = G·f lies inside every principal-axis
-// slab of the region. Counter non-negativity is implied (G ≥ 0, f ≥ 0).
-func (m *Model) regionIntersectsCone(r *stats.Region) bool {
-	gens := m.kcone.Generators
-	p := simplex.NewProblem(len(gens))
+// generatorFloats returns the cone generators as float64 rows, converted
+// once per (model, counter set) and shared by every subsequent verdict.
+func (m *Model) generatorFloats() [][]float64 {
+	m.genOnce.Do(func() {
+		n := m.Set.Len()
+		m.genF = make([][]float64, len(m.kcone.Generators))
+		for j, g := range m.kcone.Generators {
+			row := make([]float64, n)
+			for k := 0; k < n; k++ {
+				row[k], _ = g[k].Float64()
+			}
+			m.genF[j] = row
+		}
+	})
+	return m.genF
+}
+
+// RegionLP builds the Appendix A feasibility LP for r into p, replacing
+// p's contents: the counter-flow equation is substituted in, so the
+// variables are the flows f ≥ 0 down each cone generator, constrained so
+// that v = G·f lies inside every principal-axis slab of the region.
+// Counter non-negativity is implied (G ≥ 0, f ≥ 0).
+//
+// The LP depends only on (model, region); solving never mutates it, so
+// callers may cache the problem and re-solve it from any workspace.
+func (m *Model) RegionLP(p *simplex.Problem, r *stats.Region) error {
+	if !r.Set.Equal(m.Set) {
+		return fmt.Errorf("core: region counter set %v does not match model set %v", r.Set, m.Set)
+	}
+	gens := m.generatorFloats()
+	p.Reset(len(gens))
 	n := m.Set.Len()
 	for i, axis := range r.Axes {
 		// e·(G f) ≤ e·Ȳ + h   and   e·(G f) ≥ e·Ȳ − h
-		coeffs := exact.NewVec(len(gens))
+		upper, hi := p.GrowConstraint(simplex.LE)
+		lower, lo := p.GrowConstraint(simplex.GE)
 		for j, g := range gens {
 			dot := 0.0
 			for k := 0; k < n; k++ {
-				gf, _ := g[k].Float64()
-				dot += axis[k] * gf
+				dot += axis[k] * g[k]
 			}
-			coeffs[j] = ratFromFloat(dot)
+			if err := exact.SetRatFromFloat(upper[j], dot); err != nil {
+				return fmt.Errorf("core: model %q, axis %d: %w", m.Name, i, err)
+			}
+			lower[j].Set(upper[j])
 		}
 		eDotMean := 0.0
 		for k := 0; k < n; k++ {
@@ -177,12 +235,14 @@ func (m *Model) regionIntersectsCone(r *stats.Region) bool {
 		// Quantise the slab bounds outward onto a coarse dyadic grid: the
 		// box only grows (never flips a verdict to infeasible), and the LP
 		// works with denominator-256 rationals instead of 2^52 ones.
-		hi := ratQuantize(eDotMean+r.HalfWidths[i], true)
-		lo := ratQuantize(eDotMean-r.HalfWidths[i], false)
-		p.AddConstraint(coeffs, simplex.LE, hi)
-		p.AddConstraint(coeffs, simplex.GE, lo)
+		if err := exact.QuantizeInto(hi, eDotMean+r.HalfWidths[i], true, lpQuantum); err != nil {
+			return fmt.Errorf("core: model %q, axis %d upper bound: %w", m.Name, i, err)
+		}
+		if err := exact.QuantizeInto(lo, eDotMean-r.HalfWidths[i], false, lpQuantum); err != nil {
+			return fmt.Errorf("core: model %q, axis %d lower bound: %w", m.Name, i, err)
+		}
 	}
-	return simplex.Solve(p).Status == simplex.Optimal
+	return nil
 }
 
 // RegionViolates reports whether the confidence region lies entirely
@@ -218,102 +278,7 @@ func RegionViolates(r *stats.Region, k cone.Constraint) bool {
 	return min > 0 // no point of the box satisfies a·v ≤ 0
 }
 
-func ratFromFloat(f float64) *big.Rat {
-	r := new(big.Rat)
-	r.SetFloat64(f)
-	return r
-}
-
-// ratQuantize rounds f outward (up if ceil, down otherwise) to a multiple
-// of 1/256.
-func ratQuantize(f float64, ceil bool) *big.Rat {
-	scaled := f * 256
-	var n int64
-	if ceil {
-		n = int64(math.Ceil(scaled))
-	} else {
-		n = int64(math.Floor(scaled))
-	}
-	return big.NewRat(n, 256)
-}
-
-// CorpusResult summarises evaluating one model over a corpus.
-type CorpusResult struct {
-	Model      string
-	Infeasible int
-	Total      int
-	// ViolatedConstraints aggregates, across all infeasible observations,
-	// how many observations violated each constraint (keyed by its string).
-	ViolatedConstraints map[string]int
-	Verdicts            []*Verdict
-}
-
-// EvaluateCorpus tests every observation against the model in parallel
-// (feasibility testing is embarrassingly parallel — paper §7.2) and
-// aggregates infeasibility counts and violated constraints.
-func EvaluateCorpus(m *Model, corpus []*counters.Observation, confidence float64, mode stats.NoiseMode, identifyViolations bool) (*CorpusResult, error) {
-	if identifyViolations {
-		// Deduce constraints once, up front, so workers share the cache.
-		if _, err := m.Constraints(); err != nil {
-			return nil, err
-		}
-	}
-	res := &CorpusResult{
-		Model:               m.Name,
-		Total:               len(corpus),
-		ViolatedConstraints: map[string]int{},
-		Verdicts:            make([]*Verdict, len(corpus)),
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(corpus) {
-		workers = len(corpus)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		next int
-		fail error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if fail != nil || next >= len(corpus) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				mu.Unlock()
-				v, err := m.TestObservation(corpus[i], confidence, mode, identifyViolations)
-				mu.Lock()
-				if err != nil {
-					if fail == nil {
-						fail = err
-					}
-				} else {
-					res.Verdicts[i] = v
-				}
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	if fail != nil {
-		return nil, fail
-	}
-	for _, v := range res.Verdicts {
-		if !v.Feasible {
-			res.Infeasible++
-			for _, k := range v.Violations {
-				res.ViolatedConstraints[k.String()]++
-			}
-		}
-	}
-	return res, nil
-}
+// Corpus evaluation lives in internal/engine: engine.Session.Evaluate and
+// EvaluateStream replace the worker pool the seed version of this package
+// rolled inline, sharing confidence-region and LP-workspace caches across
+// observations and models.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cone"
 	"repro/internal/counters"
 	"repro/internal/exact"
+	"repro/internal/simplex"
 	"repro/internal/stats"
 )
 
@@ -241,33 +242,41 @@ func TestRegionViolatesClosedForm(t *testing.T) {
 	}
 }
 
-func TestEvaluateCorpus(t *testing.T) {
+// Corpus evaluation (the seed's TestEvaluateCorpus) is covered by
+// internal/engine's tests, where the worker pool now lives.
+
+// TestRegionWSReuse checks that a single workspace reused across many
+// verdicts gives the same answers as fresh per-call solves.
+func TestRegionWSReuse(t *testing.T) {
 	m, err := ModelFromDSL("initial", initialModelSrc, pdeSet())
 	if err != nil {
 		t.Fatal(err)
 	}
+	ws := simplex.NewWorkspace()
 	corpus := []*counters.Observation{
 		obsAround("ok1", 500, 100, 100, 10),
-		obsAround("ok2", 300, 299, 100, 11),
 		obsAround("bad1", 100, 400, 100, 12),
+		obsAround("ok2", 300, 299, 100, 11),
 		obsAround("bad2", 50, 200, 100, 13),
 	}
-	res, err := EvaluateCorpus(m, corpus, DefaultConfidence, stats.Correlated, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Total != 4 {
-		t.Fatalf("total: %d", res.Total)
-	}
-	if res.Infeasible != 2 {
-		t.Fatalf("infeasible: %d, want 2", res.Infeasible)
-	}
-	if res.ViolatedConstraints["load.pde$_miss <= load.causes_walk"] != 2 {
-		t.Fatalf("violation counts: %v", res.ViolatedConstraints)
-	}
-	for i, v := range res.Verdicts {
-		if v == nil {
-			t.Fatalf("verdict %d missing", i)
+	for _, o := range corpus {
+		r, err := stats.NewRegion(o, DefaultConfidence, stats.Correlated)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.TestRegionWS(ws, r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.TestRegion(r, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Feasible != want.Feasible {
+			t.Fatalf("%s: workspace verdict %v, fresh verdict %v", o.Label, got.Feasible, want.Feasible)
+		}
+		if len(got.Violations) != len(want.Violations) {
+			t.Fatalf("%s: violations %v vs %v", o.Label, got.Violations, want.Violations)
 		}
 	}
 }

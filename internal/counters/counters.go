@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Event is the name of a single hardware event counter, e.g.
@@ -205,10 +206,14 @@ type GroupStep struct {
 }
 
 // Set is an ordered, indexable set of events. The ordering defines vector
-// component positions for every numeric structure in CounterPoint.
+// component positions for every numeric structure in CounterPoint. Sets
+// are immutable once built.
 type Set struct {
 	events []Event
 	index  map[Event]int
+
+	keyOnce sync.Once
+	key     string
 }
 
 // NewSet builds a Set from events, preserving first-occurrence order and
@@ -305,6 +310,13 @@ func (s *Set) String() string {
 		parts[i] = string(e)
 	}
 	return strings.Join(parts, ",")
+}
+
+// Key returns the set's canonical identity string (equal to String),
+// memoised so cache lookups keyed by counter set do not re-render it.
+func (s *Set) Key() string {
+	s.keyOnce.Do(func() { s.key = s.String() })
+	return s.key
 }
 
 // Vector is a dense vector of counter values aligned with a Set.

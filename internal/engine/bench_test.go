@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/stats"
+)
+
+// The acceptance benchmark of the batched-engine refactor: evaluate a
+// 500-observation corpus against one model, comparing
+//
+//   - PerCall     — the seed path: core.TestObservation per observation,
+//     rebuilding the confidence region and a fresh rational LP every time;
+//   - SessionCold — a brand-new engine per iteration (first-corpus cost:
+//     workspace reuse and quantile memoisation, but no warm region cache);
+//   - Session     — a long-lived engine, the steady state of a model sweep
+//     or a continuously-running checking service, where the corpus regions
+//     are already cached.
+//
+// Run with -benchmem; the refactor's acceptance criterion is ≥2× fewer
+// allocations for Session than PerCall.
+
+func benchCorpus(n int) []*counters.Observation {
+	corpus := make([]*counters.Observation, 0, n)
+	for i := 0; i < n; i++ {
+		label, cw, pm := "ok", 500.0, 100.0
+		if i%5 == 4 {
+			label, cw, pm = "bad", 100.0, 400.0
+		}
+		corpus = append(corpus, obsAround(label, cw, pm, 50, int64(i)))
+	}
+	return corpus
+}
+
+func BenchmarkCorpusPerCall(b *testing.B) {
+	m := pdeModel(b)
+	corpus := benchCorpus(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inf := 0
+		for _, o := range corpus {
+			v, err := m.TestObservation(o, core.DefaultConfidence, stats.Correlated, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !v.Feasible {
+				inf++
+			}
+		}
+		if inf != 100 {
+			b.Fatalf("infeasible %d", inf)
+		}
+	}
+}
+
+func BenchmarkCorpusSessionCold(b *testing.B) {
+	m := pdeModel(b)
+	corpus := benchCorpus(500)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		s, err := e.NewSession(m, Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := s.Evaluate(context.Background(), corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Infeasible != 100 {
+			b.Fatalf("infeasible %d", res.Infeasible)
+		}
+		e.Close()
+	}
+}
+
+func BenchmarkCorpusSession(b *testing.B) {
+	m := pdeModel(b)
+	corpus := benchCorpus(500)
+	e := New()
+	defer e.Close()
+	s, err := e.NewSession(m, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the engine caches once — the steady state under measurement.
+	if _, err := s.Evaluate(context.Background(), corpus); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Evaluate(context.Background(), corpus)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Infeasible != 100 {
+			b.Fatalf("infeasible %d", res.Infeasible)
+		}
+	}
+}
+
+// BenchmarkSweepPerCall / BenchmarkSweepSession measure the Figure 1b/9
+// shape: the same corpus against several restrictions of one model, where
+// the engine's restricted-model and region caches pay off even from cold.
+func BenchmarkSweepPerCall(b *testing.B) {
+	m := pdeModel(b)
+	corpus := benchCorpus(100)
+	sets := []*counters.Set{
+		counters.NewSet("load.causes_walk"),
+		counters.NewSet("load.pde$_miss"),
+		pdeSet(),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, set := range sets {
+			sub, err := m.Restrict(set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range corpus {
+				if _, err := sub.TestObservation(o, core.DefaultConfidence, stats.Correlated, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkSweepSession(b *testing.B) {
+	m := pdeModel(b)
+	corpus := benchCorpus(100)
+	sets := []*counters.Set{
+		counters.NewSet("load.causes_walk"),
+		counters.NewSet("load.pde$_miss"),
+		pdeSet(),
+	}
+	e := New()
+	defer e.Close()
+	s, err := e.NewSession(m, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, set := range sets {
+			sub, err := s.Restrict(set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sub.Evaluate(context.Background(), corpus); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package engine is CounterPoint's batched feasibility engine: the layer
+// that turns package core's single-verdict testing into high-throughput
+// corpus evaluation (paper §7.2 calls feasibility testing "embarrassingly
+// parallel"; this package is where that parallelism lives).
+//
+// An Engine is long-lived. It owns
+//
+//   - a bounded, context-aware worker pool shared by every Session,
+//   - a stats.RegionBuilder memoising χ² quantiles and confidence regions
+//     across observations, models and sessions,
+//   - a pool of simplex.Workspaces so the exact LP reuses its rational
+//     tableau from verdict to verdict,
+//   - a cache of Restricted models, so counter-group sweeps (Figure 1b/9)
+//     share μpath enumeration and cone construction per counter set.
+//
+// A Session binds one model to an evaluation configuration (confidence,
+// noise mode, violation identification, batching, early exit). Sessions
+// are cheap; create one per model and reuse it for every corpus. See
+// session.go for the streaming API.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/mudd"
+	"repro/internal/simplex"
+	"repro/internal/stats"
+)
+
+// ErrClosed is returned by operations on an engine after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Engine is a long-lived evaluation runtime. The zero value is not usable;
+// call New. Engines are safe for concurrent use.
+type Engine struct {
+	workers int
+	regions *stats.RegionBuilder
+
+	tasks chan func()
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	closeOnce sync.Once
+
+	scratch sync.Pool // *evalScratch
+
+	mu     sync.Mutex
+	models map[restrictKey]*core.Model
+
+	lpMu sync.RWMutex
+	lps  map[lpKey]*simplex.Problem
+}
+
+type restrictKey struct {
+	diagram *mudd.Diagram
+	set     string
+}
+
+// lpKey identifies a cached feasibility LP. Both the model and the region
+// are engine-cached themselves, so pointer identity is the right notion of
+// sameness.
+type lpKey struct {
+	model  *core.Model
+	region *stats.Region
+}
+
+// evalScratch is the per-worker reusable state: one LP workspace. Pooled
+// rather than per-worker so Session.Test (which runs inline, off-pool) can
+// borrow one too.
+type evalScratch struct {
+	ws *simplex.Workspace
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the worker pool. Values below 1 are clamped to 1. The
+// default is runtime.GOMAXPROCS(0).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n < 1 {
+			n = 1
+		}
+		e.workers = n
+	}
+}
+
+// New starts an engine with its worker pool running. Call Close to stop the
+// workers when the engine is no longer needed; the package-level Default
+// engine stays up for the life of the process.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers: runtime.GOMAXPROCS(0),
+		regions: stats.NewRegionBuilder(),
+		quit:    make(chan struct{}),
+		models:  make(map[restrictKey]*core.Model),
+		lps:     make(map[lpKey]*simplex.Problem),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	e.scratch.New = func() any { return &evalScratch{ws: simplex.NewWorkspace()} }
+	e.tasks = make(chan func())
+	e.wg.Add(e.workers)
+	for i := 0; i < e.workers; i++ {
+		go func() {
+			defer e.wg.Done()
+			for {
+				select {
+				case f := <-e.tasks:
+					f()
+				case <-e.quit:
+					return
+				}
+			}
+		}()
+	}
+	return e
+}
+
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the shared process-wide engine, created on first use and
+// never closed. Command-line tools and experiments share it so the region
+// and model caches amortise across an entire run.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New() })
+	return defaultEngine
+}
+
+// Workers reports the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Regions exposes the engine's shared region builder.
+func (e *Engine) Regions() *stats.RegionBuilder { return e.regions }
+
+// Close stops the worker pool and waits for in-flight tasks to finish.
+// Pending submissions fail with ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// submit hands f to the pool, blocking until a worker frees up, ctx is
+// done, or the engine closes.
+func (e *Engine) submit(ctx context.Context, f func()) error {
+	select {
+	case e.tasks <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-e.quit:
+		return ErrClosed
+	}
+}
+
+func (e *Engine) getScratch() *evalScratch  { return e.scratch.Get().(*evalScratch) }
+func (e *Engine) putScratch(s *evalScratch) { e.scratch.Put(s) }
+
+// lpCacheLimit bounds the per-(model, region) LP cache. Workloads that
+// never revisit a pair (explore searches evaluate each node once) would
+// otherwise grow the cache without ever hitting it; past the cap, LPs are
+// built fresh into the pooled problem storage instead of being retained.
+const lpCacheLimit = 1 << 16
+
+// lpFor returns the feasibility LP of (m, r), built once and re-solved by
+// every subsequent verdict over the same cached region — sweeps that
+// revisit a corpus skip the whole constraint-row construction.
+func (e *Engine) lpFor(m *core.Model, r *stats.Region, sc *evalScratch) (*simplex.Problem, error) {
+	k := lpKey{model: m, region: r}
+	e.lpMu.RLock()
+	p, ok := e.lps[k]
+	full := len(e.lps) >= lpCacheLimit
+	e.lpMu.RUnlock()
+	if ok {
+		return p, nil
+	}
+	if full {
+		p = sc.ws.Prepare(0)
+		if err := m.RegionLP(p, r); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	p = simplex.NewProblem(0)
+	if err := m.RegionLP(p, r); err != nil {
+		return nil, err
+	}
+	e.lpMu.Lock()
+	if prev, ok := e.lps[k]; ok {
+		p = prev
+	} else {
+		e.lps[k] = p
+	}
+	e.lpMu.Unlock()
+	return p, nil
+}
+
+// modelFor returns m restricted to set, memoised per (diagram, set) so
+// counter-group sweeps over the same diagram share μpath enumeration and
+// cone construction. The base model itself is cached too, keyed by its own
+// set, so repeated sweeps converge on one instance per step.
+func (e *Engine) modelFor(m *core.Model, set *counters.Set) (*core.Model, error) {
+	if set == nil || m.Set.Equal(set) {
+		return m, nil
+	}
+	k := restrictKey{diagram: m.Diagram, set: set.Key()}
+	e.mu.Lock()
+	cached, ok := e.models[k]
+	e.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	restricted, err := m.Restrict(set)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	if prev, ok := e.models[k]; ok {
+		restricted = prev
+	} else if len(e.models) < modelCacheLimit {
+		e.models[k] = restricted
+	}
+	e.mu.Unlock()
+	return restricted, nil
+}
+
+// modelCacheLimit bounds the restricted-model cache; like the LP cache it
+// degrades to building fresh models rather than growing without bound.
+const modelCacheLimit = 1 << 12

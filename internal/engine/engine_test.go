@@ -1,0 +1,455 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/stats"
+)
+
+const initialModelSrc = `
+incr load.causes_walk;
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => incr load.pde$_miss;
+};
+done;
+`
+
+func pdeSet() *counters.Set {
+	return counters.NewSet("load.causes_walk", "load.pde$_miss")
+}
+
+func pdeModel(t testing.TB) *core.Model {
+	t.Helper()
+	m, err := core.ModelFromDSL("initial", initialModelSrc, pdeSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func obsAround(label string, cw, pm float64, samples int, seed int64) *counters.Observation {
+	o := counters.NewObservation(label, pdeSet())
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < samples; i++ {
+		o.Append([]float64{cw + rng.NormFloat64(), pm + rng.NormFloat64()})
+	}
+	return o
+}
+
+func mixedCorpus() []*counters.Observation {
+	return []*counters.Observation{
+		obsAround("ok1", 500, 100, 100, 10),
+		obsAround("ok2", 300, 299, 100, 11),
+		obsAround("bad1", 100, 400, 100, 12),
+		obsAround("bad2", 50, 200, 100, 13),
+	}
+}
+
+// TestEvaluateCorpus is the engine port of the seed's core corpus test.
+func TestEvaluateCorpus(t *testing.T) {
+	e := New()
+	defer e.Close()
+	s, err := e.NewSession(pdeModel(t), Config{IdentifyViolations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Evaluate(context.Background(), mixedCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 {
+		t.Fatalf("total: %d", res.Total)
+	}
+	if res.Infeasible != 2 {
+		t.Fatalf("infeasible: %d, want 2", res.Infeasible)
+	}
+	if res.ViolatedConstraints["load.pde$_miss <= load.causes_walk"] != 2 {
+		t.Fatalf("violation counts: %v", res.ViolatedConstraints)
+	}
+	if len(res.Verdicts) != 4 {
+		t.Fatalf("verdicts: %d", len(res.Verdicts))
+	}
+	// Verdicts come back in corpus order despite parallel completion.
+	for i, want := range []string{"ok1", "ok2", "bad1", "bad2"} {
+		if res.Verdicts[i].Observation != want {
+			t.Fatalf("verdict %d is %q, want %q", i, res.Verdicts[i].Observation, want)
+		}
+	}
+}
+
+// TestSessionMatchesCorePerCall checks the cached engine path agrees with
+// core's uncached per-call path on every observation.
+func TestSessionMatchesCorePerCall(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := pdeModel(t)
+	s, err := e.NewSession(m, Config{IdentifyViolations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range mixedCorpus() {
+		got, err := s.Test(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := m.TestObservation(o, core.DefaultConfidence, stats.Correlated, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Feasible != want.Feasible {
+			t.Fatalf("%s: engine %v, core %v", o.Label, got.Feasible, want.Feasible)
+		}
+		if len(got.Violations) != len(want.Violations) {
+			t.Fatalf("%s: violations %v vs %v", o.Label, got.Violations, want.Violations)
+		}
+	}
+}
+
+// TestEvaluateStreamDelivery checks the streaming path delivers one indexed
+// item per observation.
+func TestEvaluateStreamDelivery(t *testing.T) {
+	e := New()
+	defer e.Close()
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := mixedCorpus()
+	in := make(chan *counters.Observation)
+	go func() {
+		defer close(in)
+		for _, o := range corpus {
+			in <- o
+		}
+	}()
+	st := s.EvaluateStream(context.Background(), in)
+	seen := map[int]string{}
+	for item := range st.C {
+		if item.Err != nil {
+			t.Fatal(item.Err)
+		}
+		seen[item.Index] = item.Verdict.Observation
+	}
+	if len(seen) != len(corpus) {
+		t.Fatalf("streamed %d items, want %d", len(seen), len(corpus))
+	}
+	for i, o := range corpus {
+		if seen[i] != o.Label {
+			t.Fatalf("index %d streamed %q, want %q", i, seen[i], o.Label)
+		}
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != len(corpus) || res.Infeasible != 2 {
+		t.Fatalf("aggregate %d/%d", res.Infeasible, res.Total)
+	}
+}
+
+// TestStopOnInfeasible checks the early-exit mode terminates the stream
+// without evaluating the whole corpus, and that the refuting verdict
+// itself is always delivered on the stream channel.
+func TestStopOnInfeasible(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	s, err := e.NewSession(pdeModel(t), Config{StopOnInfeasible: true, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One violating observation leading a long tail of feasible ones.
+	corpus := []*counters.Observation{obsAround("bad", 100, 400, 80, 1)}
+	for i := 0; i < 64; i++ {
+		corpus = append(corpus, obsAround("ok", 500, 100, 80, int64(i+2)))
+	}
+	in := make(chan *counters.Observation, len(corpus))
+	for _, o := range corpus {
+		in <- o
+	}
+	close(in)
+	st := s.EvaluateStream(context.Background(), in)
+	sawRefutation := false
+	for item := range st.C {
+		if item.Err != nil {
+			t.Fatal(item.Err)
+		}
+		if !item.Verdict.Feasible {
+			sawRefutation = true
+			if item.Verdict.Observation != "bad" {
+				t.Fatalf("refuting verdict from %q", item.Verdict.Observation)
+			}
+		}
+	}
+	if !sawRefutation {
+		t.Fatal("the refuting verdict never appeared on the stream channel")
+	}
+	res, err := st.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Infeasible == 0 {
+		t.Fatal("the infeasible observation was not found")
+	}
+	if res.Total == len(corpus) {
+		t.Fatal("early exit did not skip any work")
+	}
+}
+
+// TestStreamDeliversErrorItems checks per-item evaluation errors are
+// forwarded on C (not just folded into Result) and fail the run.
+func TestStreamDeliversErrorItems(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := counters.NewObservation("empty", pdeSet()) // no samples: region error
+	in := make(chan *counters.Observation, 2)
+	in <- obsAround("ok", 500, 100, 40, 1)
+	in <- empty
+	close(in)
+	st := s.EvaluateStream(context.Background(), in)
+	sawErr := false
+	for item := range st.C {
+		if item.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Fatal("error item never appeared on the stream channel")
+	}
+	if _, err := st.Result(); err == nil {
+		t.Fatal("Result must surface the evaluation error")
+	}
+}
+
+// TestEvaluateStreamCancellation is the leak-and-promptness test: cancel
+// mid-run, require a prompt partial result and no goroutines left behind.
+func TestEvaluateStreamCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	e := New(WithWorkers(2))
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *counters.Observation)
+	feeder := make(chan struct{})
+	go func() {
+		defer close(feeder)
+		// Unbounded feeder: only cancellation stops the stream.
+		for i := 0; ; i++ {
+			o := obsAround("obs", 500, 100, 60, int64(i))
+			select {
+			case in <- o:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	st := s.EvaluateStream(ctx, in)
+	got := 0
+	for item := range st.C {
+		if item.Err != nil {
+			t.Fatal(item.Err)
+		}
+		got++
+		if got == 5 {
+			cancel()
+		}
+	}
+	res, err := st.Result()
+	if err != context.Canceled {
+		t.Fatalf("Result error = %v, want context.Canceled", err)
+	}
+	if res.Total < 5 {
+		t.Fatalf("partial result lost verdicts: %d", res.Total)
+	}
+	if len(res.Verdicts) != res.Total {
+		t.Fatalf("verdicts %d vs total %d", len(res.Verdicts), res.Total)
+	}
+	<-feeder
+	e.Close()
+
+	// Manual leak check (no external goleak dependency): the goroutine
+	// count must return to its pre-engine baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after cancel+close\n%s", before, now, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cancel()
+}
+
+// TestAbandonedStreamDoesNotWedgePool checks that a consumer which stops
+// reading C (without cancelling or calling Result) cannot starve other
+// sessions sharing the engine's worker pool.
+func TestAbandonedStreamDoesNotWedgePool(t *testing.T) {
+	e := New(WithWorkers(1)) // single worker: any wedge would block everyone
+	defer e.Close()
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Abandon: feed a corpus much larger than the channel buffers, read
+	// nothing from st.C, never cancel.
+	corpus := make([]*counters.Observation, 24)
+	for i := range corpus {
+		corpus[i] = obsAround("ok", 500, 100, 40, int64(i))
+	}
+	in := make(chan *counters.Observation, len(corpus))
+	for _, o := range corpus {
+		in <- o
+	}
+	close(in)
+	_ = s.EvaluateStream(context.Background(), in)
+
+	// A second evaluation on the same engine must still complete.
+	done := make(chan error, 1)
+	go func() {
+		res, err := s.Evaluate(context.Background(), mixedCorpus())
+		if err == nil && res.Total != 4 {
+			err = fmt.Errorf("total %d", res.Total)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool wedged by the abandoned stream")
+	}
+}
+
+// TestRestrictSharing checks restricted models are memoised engine-wide.
+func TestRestrictSharing(t *testing.T) {
+	e := New()
+	defer e.Close()
+	s, err := e.NewSession(pdeModel(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := counters.NewSet("load.causes_walk")
+	r1, err := s.Restrict(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Restrict(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Model() != r2.Model() {
+		t.Fatal("restricted model was rebuilt instead of shared")
+	}
+	if r1.Model().Set.Len() != 1 {
+		t.Fatalf("restricted set: %v", r1.Model().Set.Events())
+	}
+	// Restricting to the session's own set returns the same model.
+	same, err := s.Restrict(pdeSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if same.Model() != s.Model() {
+		t.Fatal("identity restrict should not rebuild the model")
+	}
+}
+
+// TestRegionCacheShared checks two sessions over different models share
+// region construction through the engine.
+func TestRegionCacheShared(t *testing.T) {
+	e := New()
+	defer e.Close()
+	corpus := mixedCorpus()
+	m1 := pdeModel(t)
+	m2, err := core.ModelFromDSL("refined", `
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => {
+        incr load.pde$_miss;
+        switch Abort { Yes => done; No => pass; };
+    };
+};
+do StartWalk;
+incr load.causes_walk;
+done;
+`, pdeSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []*core.Model{m1, m2} {
+		s, err := e.NewSession(m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Evaluate(context.Background(), corpus); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Four observations, one counter set, one confidence, one mode: four
+	// cached regions total, not eight.
+	if got := e.Regions().Len(); got != len(corpus) {
+		t.Fatalf("region cache holds %d entries, want %d", got, len(corpus))
+	}
+}
+
+// TestSessionValidation covers config validation and eager constraint
+// deduction failure propagation.
+func TestSessionValidation(t *testing.T) {
+	e := New()
+	defer e.Close()
+	if _, err := e.NewSession(pdeModel(t), Config{Confidence: 1.5}); err == nil {
+		t.Fatal("confidence 1.5 should be rejected")
+	}
+	s, err := e.NewSession(pdeModel(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Confidence; got != core.DefaultConfidence {
+		t.Fatalf("default confidence %g", got)
+	}
+	if got := s.Config().BatchSize; got != DefaultBatchSize {
+		t.Fatalf("default batch size %d", got)
+	}
+}
+
+// TestEvaluateAfterClose checks submissions against a closed engine fail
+// with ErrClosed rather than hanging or masquerading as a clean run.
+func TestEvaluateAfterClose(t *testing.T) {
+	e := New(WithWorkers(1))
+	s, err := e.NewSession(pdeModel(t), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	res, err := s.Evaluate(context.Background(), mixedCorpus())
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("Evaluate after Close: err = %v, want ErrClosed", err)
+	}
+	if res.Total != 0 {
+		t.Fatalf("closed engine evaluated %d observations", res.Total)
+	}
+}

@@ -1,0 +1,475 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/stats"
+)
+
+// Config tunes a Session.
+type Config struct {
+	// Confidence is the region confidence level; 0 means
+	// core.DefaultConfidence (the paper's 99%).
+	Confidence float64
+	// Mode selects the noise model (default Correlated, the paper's).
+	Mode stats.NoiseMode
+	// IdentifyViolations deduces the model constraints up front and names
+	// the violated ones on every infeasible verdict.
+	IdentifyViolations bool
+	// BatchSize groups observations per worker task; larger batches
+	// amortise scheduling for tiny models. 0 means DefaultBatchSize.
+	BatchSize int
+	// StopOnInfeasible cancels the remaining evaluation as soon as one
+	// infeasible observation is found — the early-exit mode for "is this
+	// model refuted at all?" queries (explore's pruning phase).
+	StopOnInfeasible bool
+}
+
+// DefaultBatchSize is the observations-per-task grouping used when
+// Config.BatchSize is zero.
+const DefaultBatchSize = 4
+
+func (c Config) withDefaults() Config {
+	if c.Confidence == 0 {
+		c.Confidence = core.DefaultConfidence
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	return c
+}
+
+// Session binds one model to an evaluation configuration on an engine.
+// Sessions are safe for concurrent use and cheap to create.
+type Session struct {
+	eng   *Engine
+	model *core.Model
+	cfg   Config
+}
+
+// NewSession creates a session for m. When cfg.IdentifyViolations is set
+// the model constraints are deduced eagerly so worker verdicts share the
+// cache instead of racing to build it.
+func (e *Engine) NewSession(m *core.Model, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+		return nil, fmt.Errorf("engine: confidence must be in (0,1), got %g", cfg.Confidence)
+	}
+	if cfg.IdentifyViolations {
+		if _, err := m.Constraints(); err != nil {
+			return nil, err
+		}
+	}
+	return &Session{eng: e, model: m, cfg: cfg}, nil
+}
+
+// Model returns the model under test.
+func (s *Session) Model() *core.Model { return s.model }
+
+// Config returns the session configuration (defaults filled in).
+func (s *Session) Config() Config { return s.cfg }
+
+// Restrict returns a session over the same engine and configuration whose
+// model is restricted to set. Restricted models are memoised engine-wide,
+// so the Figure 1b/9 counter-group sweeps share μpath and cone work.
+func (s *Session) Restrict(set *counters.Set) (*Session, error) {
+	m, err := s.eng.modelFor(s.model, set)
+	if err != nil {
+		return nil, err
+	}
+	return s.eng.NewSession(m, s.cfg)
+}
+
+// test evaluates one observation using pooled scratch state and the
+// engine-wide region and LP caches.
+func (s *Session) test(sc *evalScratch, o *counters.Observation) (*core.Verdict, error) {
+	r, err := s.eng.regions.Region(o, s.model.Set, s.cfg.Confidence, s.cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.eng.lpFor(s.model, r, sc)
+	if err != nil {
+		return nil, err
+	}
+	v, err := s.model.TestRegionLP(sc.ws, p, r, s.cfg.IdentifyViolations)
+	if err != nil {
+		return nil, err
+	}
+	v.Observation = o.Label
+	return v, nil
+}
+
+// Test evaluates a single observation inline (no pool round-trip), still
+// sharing the engine's region and workspace caches.
+func (s *Session) Test(ctx context.Context, o *counters.Observation) (*core.Verdict, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sc := s.eng.getScratch()
+	defer s.eng.putScratch(sc)
+	return s.test(sc, o)
+}
+
+// Item is one streamed verdict. Index is the observation's position in the
+// input stream (0-based), so out-of-order delivery can be reassembled.
+type Item struct {
+	Index   int
+	Verdict *core.Verdict
+	Err     error
+}
+
+// CorpusResult summarises evaluating one model over a corpus. It is the
+// engine-level replacement for the seed's core.CorpusResult.
+type CorpusResult struct {
+	Model string
+	// Infeasible counts infeasible verdicts; Total counts evaluated
+	// observations. On cancellation or early exit, Total reflects the
+	// partial progress actually made.
+	Infeasible int
+	Total      int
+	// ViolatedConstraints aggregates, across all infeasible observations,
+	// how many observations violated each constraint (keyed by its string).
+	ViolatedConstraints map[string]int
+	// Verdicts holds the evaluated verdicts in input-stream order. On a
+	// complete run Verdicts[i] corresponds to the i-th observation.
+	Verdicts []*core.Verdict
+}
+
+// Feasible reports whether every evaluated observation was feasible.
+func (r *CorpusResult) Feasible() bool { return r.Infeasible == 0 }
+
+// Stream is a running corpus evaluation. Read verdicts from C (closed when
+// the evaluation finishes) and call Result for the aggregate. Result may be
+// called without draining C; it discards any unread items.
+//
+// Forwarding to C is decoupled from evaluation: a consumer that stops
+// reading C never blocks the engine's worker pool or the aggregate. A
+// stream abandoned without cancelling its context retains one forwarder
+// goroutine (and the undelivered items) until the context ends; cancel the
+// context or call Result to release it promptly.
+type Stream struct {
+	// C delivers one Item per evaluated observation, in completion order.
+	C <-chan Item
+
+	done chan struct{}
+	res  *CorpusResult
+	err  error
+}
+
+// forwardQueue is the unbounded buffer between the aggregator and the
+// stream consumer. push never blocks; the forwarder goroutine drains it.
+type forwardQueue struct {
+	mu    sync.Mutex
+	items []Item
+	done  bool
+	ready chan struct{}
+}
+
+func newForwardQueue() *forwardQueue {
+	return &forwardQueue{ready: make(chan struct{}, 1)}
+}
+
+func (q *forwardQueue) signal() {
+	select {
+	case q.ready <- struct{}{}:
+	default:
+	}
+}
+
+func (q *forwardQueue) push(it Item) {
+	q.mu.Lock()
+	q.items = append(q.items, it)
+	q.mu.Unlock()
+	q.signal()
+}
+
+func (q *forwardQueue) finish() {
+	q.mu.Lock()
+	q.done = true
+	q.mu.Unlock()
+	q.signal()
+}
+
+func (q *forwardQueue) pop() (it Item, ok, done bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) > 0 {
+		it = q.items[0]
+		q.items = q.items[1:]
+		return it, true, false
+	}
+	return Item{}, false, q.done
+}
+
+// streamDrainGrace bounds how long the forwarder keeps offering items to
+// the consumer after the run's context ends, so the item that terminated
+// an early-exit run still reaches an attentive reader while an abandoned
+// stream is released promptly.
+const streamDrainGrace = 100 * time.Millisecond
+
+// Result blocks until the stream finishes, then returns the aggregated
+// result. On cancellation it returns the partial aggregate together with
+// the context's error; on an evaluation error, the partial aggregate and
+// that error.
+func (st *Stream) Result() (*CorpusResult, error) {
+	for range st.C {
+		// Items are aggregated before they are offered on C; discarding
+		// unread ones loses nothing.
+	}
+	<-st.done
+	return st.res, st.err
+}
+
+// EvaluateStream evaluates every observation arriving on in against the
+// session's model using the engine's worker pool, emitting verdicts as they
+// complete. The stream stops early when ctx is cancelled, when an
+// evaluation fails, or — with Config.StopOnInfeasible — as soon as one
+// infeasible verdict lands. Evaluation and aggregation goroutines exit
+// promptly in every case (a slow or absent consumer of C only delays the
+// dedicated forwarder, never the pool); partial aggregates remain
+// available via Result.
+func (s *Session) EvaluateStream(ctx context.Context, in <-chan *counters.Observation) *Stream {
+	sctx, cancel := context.WithCancel(ctx)
+	out := make(chan Item, s.eng.workers)
+	results := make(chan Item, s.eng.workers)
+	st := &Stream{
+		C:    out,
+		done: make(chan struct{}),
+		res: &CorpusResult{
+			Model:               s.model.Name,
+			ViolatedConstraints: map[string]int{},
+		},
+	}
+
+	var pending sync.WaitGroup
+	dispatched := make(chan struct{})
+	// submitErr records a pool failure (engine closed). Written by the
+	// dispatcher before dispatched closes; read by the aggregator after
+	// results closes, which the closer orders after dispatched.
+	var submitErr error
+
+	// Dispatcher: batch incoming observations and hand each batch to the
+	// engine pool.
+	go func() {
+		defer close(dispatched)
+		index := 0
+		first := 0
+		var batch []*counters.Observation
+		flush := func() bool {
+			if len(batch) == 0 {
+				return true
+			}
+			b, start := batch, first
+			batch = nil
+			pending.Add(1)
+			err := s.eng.submit(sctx, func() {
+				defer pending.Done()
+				sc := s.eng.getScratch()
+				defer s.eng.putScratch(sc)
+				for i, o := range b {
+					if sctx.Err() != nil {
+						return
+					}
+					v, err := s.test(sc, o)
+					select {
+					case results <- Item{Index: start + i, Verdict: v, Err: err}:
+					case <-sctx.Done():
+						return
+					}
+				}
+			})
+			if err != nil {
+				pending.Done()
+				if errors.Is(err, ErrClosed) {
+					submitErr = err
+				}
+				return false
+			}
+			return true
+		}
+		for {
+			select {
+			case o, ok := <-in:
+				if !ok {
+					flush()
+					return
+				}
+				if len(batch) == 0 {
+					first = index
+				}
+				batch = append(batch, o)
+				index++
+				if len(batch) >= s.cfg.BatchSize {
+					if !flush() {
+						return
+					}
+				}
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Closer: results has no more senders once the dispatcher stopped and
+	// every submitted batch drained.
+	go func() {
+		<-dispatched
+		pending.Wait()
+		close(results)
+	}()
+
+	// Aggregator: fold items into the corpus result and queue them for the
+	// forwarder. Items — including error items and the verdict that
+	// triggers an early exit — are queued before any self-cancellation, so
+	// the stream's consumer sees the item that ended the run. The queue
+	// never blocks, so a slow consumer cannot back up the worker pool.
+	fq := newForwardQueue()
+	go func() {
+		defer close(st.done)
+		defer fq.finish()
+		var evalErr error
+		var indices []int
+		for item := range results {
+			if item.Err != nil {
+				if evalErr == nil {
+					evalErr = item.Err
+				}
+			} else {
+				st.res.Total++
+				if !item.Verdict.Feasible {
+					st.res.Infeasible++
+					for _, k := range item.Verdict.Violations {
+						st.res.ViolatedConstraints[k.String()]++
+					}
+				}
+				st.res.Verdicts = append(st.res.Verdicts, item.Verdict)
+				indices = append(indices, item.Index)
+			}
+			fq.push(item)
+			if item.Err != nil {
+				cancel() // fail fast; keep draining so workers unblock
+			} else if s.cfg.StopOnInfeasible && !item.Verdict.Feasible {
+				cancel() // early exit
+			}
+		}
+		sort.Sort(&verdictsByIndex{indices, st.res.Verdicts})
+		switch {
+		case evalErr != nil:
+			st.err = evalErr
+		case submitErr != nil:
+			st.err = submitErr
+		case ctx.Err() != nil:
+			st.err = ctx.Err()
+		}
+	}()
+
+	// Forwarder: drain the queue into C. While the run is live it waits on
+	// the consumer indefinitely (the documented contract: drain, cancel, or
+	// call Result); once the run is cancelled — by the parent context, an
+	// error, or early exit — it keeps offering each remaining item for
+	// streamDrainGrace so an attentive reader still receives the final
+	// verdicts, then gives up. It owns the context cleanup: sctx is only
+	// cancelled for cause elsewhere, so observing sctx.Done here always
+	// means a genuine cancellation, never end-of-run cleanup.
+	go func() {
+		defer cancel()
+		defer close(out)
+		cancelled := false
+		offer := func(it Item) bool {
+			t := time.NewTimer(streamDrainGrace)
+			defer t.Stop()
+			select {
+			case out <- it:
+				return true
+			case <-t.C:
+				return false
+			}
+		}
+		for {
+			it, ok, done := fq.pop()
+			if !ok {
+				if done {
+					return
+				}
+				if cancelled {
+					t := time.NewTimer(streamDrainGrace)
+					select {
+					case <-fq.ready:
+						t.Stop()
+					case <-t.C:
+						return
+					}
+				} else {
+					select {
+					case <-fq.ready:
+					case <-sctx.Done():
+						cancelled = true
+					}
+				}
+				continue
+			}
+			if cancelled {
+				if !offer(it) {
+					return
+				}
+				continue
+			}
+			select {
+			case out <- it:
+			case <-sctx.Done():
+				cancelled = true
+				if !offer(it) {
+					return
+				}
+			}
+		}
+	}()
+
+	return st
+}
+
+// verdictsByIndex sorts the aggregate's verdicts back into input order.
+type verdictsByIndex struct {
+	idx []int
+	v   []*core.Verdict
+}
+
+func (s *verdictsByIndex) Len() int           { return len(s.idx) }
+func (s *verdictsByIndex) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *verdictsByIndex) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.v[i], s.v[j] = s.v[j], s.v[i]
+}
+
+// Evaluate tests every observation of corpus against the session's model
+// and returns the aggregate — the drop-in replacement for the seed's
+// core.EvaluateCorpus.
+func (s *Session) Evaluate(ctx context.Context, corpus []*counters.Observation) (*CorpusResult, error) {
+	in := make(chan *counters.Observation, len(corpus))
+	for _, o := range corpus {
+		in <- o
+	}
+	close(in)
+	return s.EvaluateStream(ctx, in).Result()
+}
+
+// EvaluateCorpus is a one-shot convenience: a session on the default
+// engine with the given settings, evaluated over corpus.
+func EvaluateCorpus(ctx context.Context, m *core.Model, corpus []*counters.Observation, confidence float64, mode stats.NoiseMode, identifyViolations bool) (*CorpusResult, error) {
+	s, err := Default().NewSession(m, Config{
+		Confidence:         confidence,
+		Mode:               mode,
+		IdentifyViolations: identifyViolations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return s.Evaluate(ctx, corpus)
+}

@@ -1,0 +1,89 @@
+package exact
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// This file is the single home for float64 → ℚ conversion. Every layer that
+// feeds floating-point data into the exact pipeline (confidence-region slab
+// bounds, LP coefficient rows) must come through here so that NaN, ±Inf and
+// magnitude overflow are handled in exactly one place.
+
+// RatFromFloat converts a finite float64 exactly to a rational. NaN and ±Inf
+// are rejected with an error rather than producing a nil or garbage value.
+func RatFromFloat(f float64) (*big.Rat, error) {
+	r := new(big.Rat)
+	if err := SetRatFromFloat(r, f); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// SetRatFromFloat sets dst to the exact rational value of f, reusing dst's
+// storage. It fails on NaN and ±Inf, which have no rational value.
+func SetRatFromFloat(dst *big.Rat, f float64) error {
+	if dst.SetFloat64(f) == nil {
+		return fmt.Errorf("exact: cannot convert non-finite float %v to a rational", f)
+	}
+	return nil
+}
+
+// Quantize rounds f outward onto the dyadic grid of spacing 1/denom: up to
+// the next multiple of 1/denom when ceil is true, down otherwise. See
+// QuantizeInto for the error contract.
+func Quantize(f float64, ceil bool, denom int64) (*big.Rat, error) {
+	r := new(big.Rat)
+	if err := QuantizeInto(r, f, ceil, denom); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// QuantizeInto sets dst to f rounded outward onto the grid of multiples of
+// 1/denom, reusing dst's storage.
+//
+// Unlike the int64(math.Ceil(f*denom)) idiom it replaces, the conversion is
+// exact for every finite float64: magnitudes beyond 2⁵³/denom take a big.Int
+// slow path instead of silently overflowing int64 (the seed bug this fixes).
+// NaN and ±Inf return an error — a confidence-region bound that is not a
+// finite number cannot be turned into an LP constraint.
+func QuantizeInto(dst *big.Rat, f float64, ceil bool, denom int64) error {
+	if denom <= 0 {
+		panic(fmt.Sprintf("exact: quantize denominator must be positive, got %d", denom))
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return fmt.Errorf("exact: cannot quantize non-finite value %v", f)
+	}
+	scaled := f * float64(denom)
+	if denom&(denom-1) == 0 && math.Abs(scaled) < 1<<53 {
+		// Fast path: scaling by a power of two is exact (overflow lands in
+		// the slow-path branch), so Ceil/Floor round the true value. For
+		// other denominators f·denom itself rounds, which could pull an
+		// "outward" bound inward — those take the exact path below.
+		var n int64
+		if ceil {
+			n = int64(math.Ceil(scaled))
+		} else {
+			n = int64(math.Floor(scaled))
+		}
+		dst.SetFrac64(n, denom)
+		return nil
+	}
+	// Slow path: f*denom exceeds the exactly-representable integer range, so
+	// compute ⌈f·denom⌉ (or ⌊·⌋) with integer arithmetic on the exact
+	// rational value of f.
+	if dst.SetFloat64(f) == nil {
+		return fmt.Errorf("exact: cannot quantize non-finite value %v", f)
+	}
+	num := new(big.Int).Mul(dst.Num(), big.NewInt(denom))
+	den := new(big.Int).Set(dst.Denom())
+	q, m := new(big.Int).DivMod(num, den, new(big.Int))
+	// big.Int.DivMod is Euclidean: for den > 0, q = ⌊num/den⌋ and 0 ≤ m < den.
+	if ceil && m.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	dst.SetFrac(q, big.NewInt(denom))
+	return nil
+}

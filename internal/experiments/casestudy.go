@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/cone"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/explore"
 	"repro/internal/haswell"
@@ -152,7 +154,9 @@ func anomalousObservation(set *counters.Set) *counters.Observation {
 }
 
 // modelTable runs a model catalogue over the corpus and prints a Table
-// 3/5/7-style summary.
+// 3/5/7-style summary. All models share the default engine's session
+// caches, so the corpus regions are built once for the whole catalogue
+// (and once across all tables in one process).
 func modelTable(w io.Writer, opts Options, models []haswell.NamedFeatures) error {
 	obs, err := corpus(opts)
 	if err != nil {
@@ -165,7 +169,7 @@ func modelTable(w io.Writer, opts Options, models []haswell.NamedFeatures) error
 		if err != nil {
 			return err
 		}
-		res, err := core.EvaluateCorpus(m, obs, core.DefaultConfidence, stats.Correlated, false)
+		res, err := engine.EvaluateCorpus(context.Background(), m, obs, core.DefaultConfidence, stats.Correlated, false)
 		if err != nil {
 			return err
 		}

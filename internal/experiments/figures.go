@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cone"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/exact"
 	"repro/internal/haswell"
 	"repro/internal/multiplex"
@@ -380,6 +382,13 @@ func runFig9b(w io.Writer, opts Options) error {
 	return timingSweep(w, opts, true)
 }
 
+// timingSweep runs the Figure 9 counter-group sweep through one engine
+// session per base model, restricted per step. It uses a dedicated,
+// freshly-created engine — not engine.Default() — so the timed region
+// always measures cold per-verdict (or per-deduction) cost: the shared
+// engine's region/LP caches would otherwise make every re-run of the
+// figure in one process report warm cache hits instead of the paper's
+// scaling curve.
 func timingSweep(w io.Writer, opts Options, deduce bool) error {
 	obsList, err := corpus(opts)
 	if err != nil {
@@ -391,23 +400,33 @@ func timingSweep(w io.Writer, opts Options, deduce bool) error {
 	if err != nil {
 		return err
 	}
+	base, err := core.NewModel("fig9", d, nil)
+	if err != nil {
+		return err
+	}
+	eng := engine.New()
+	defer eng.Close()
+	sess, err := eng.NewSession(base, engine.Config{Mode: stats.Correlated})
+	if err != nil {
+		return err
+	}
 	steps := analysisSteps(false)
 	if opts.Quick && deduce {
 		steps = steps[:3]
 	}
 	fmt.Fprintf(w, "%-8s %-10s %-12s\n", "group", "#counters", "time")
 	for _, st := range steps {
-		m, err := core.NewModel("fig9", d, st.Set)
+		sub, err := sess.Restrict(st.Set)
 		if err != nil {
 			return err
 		}
 		t0 := time.Now()
 		if deduce {
-			if _, err := m.Constraints(); err != nil {
+			if _, err := sub.Model().Constraints(); err != nil {
 				return err
 			}
 		} else {
-			if _, err := m.TestObservation(obs, core.DefaultConfidence, stats.Correlated, false); err != nil {
+			if _, err := sub.Test(context.Background(), obs); err != nil {
 				return err
 			}
 		}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/haswell"
 	"repro/internal/stats"
 )
@@ -42,7 +44,7 @@ func runReplay(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	res, err := core.EvaluateCorpus(r0, obs, core.DefaultConfidence, stats.Correlated, false)
+	res, err := engine.EvaluateCorpus(context.Background(), r0, obs, core.DefaultConfidence, stats.Correlated, false)
 	if err != nil {
 		return err
 	}
@@ -55,7 +57,7 @@ func runReplay(w io.Writer, opts Options) error {
 	if err != nil {
 		return err
 	}
-	res1, err := core.EvaluateCorpus(r1, obs, core.DefaultConfidence, stats.Correlated, false)
+	res1, err := engine.EvaluateCorpus(context.Background(), r1, obs, core.DefaultConfidence, stats.Correlated, false)
 	if err != nil {
 		return err
 	}

@@ -13,12 +13,14 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -109,7 +111,11 @@ type Node struct {
 // Feasible reports whether every observation was feasible.
 func (n *Node) Feasible() bool { return n.Infeasible == 0 }
 
-// Search runs guided exploration over a corpus.
+// Search runs guided exploration over a corpus. Corpus evaluation runs
+// through an engine.Session per candidate model, so the expensive
+// per-observation spectral work is shared across the entire search: every
+// node tests the same corpus, and the engine's region cache makes node
+// evaluation cost one LP per observation instead of a full region rebuild.
 type Search struct {
 	Builder    Builder
 	Corpus     []*counters.Observation
@@ -120,6 +126,11 @@ type Search struct {
 	IdentifyViolations bool
 	// MaxDiscoverySteps bounds the discovery phase.
 	MaxDiscoverySteps int
+	// Engine hosts the evaluation sessions; nil means engine.Default().
+	Engine *engine.Engine
+	// Ctx cancels an in-flight search between (and inside) node
+	// evaluations; nil means context.Background().
+	Ctx context.Context
 
 	nodes map[string]*Node
 	order []*Node
@@ -144,6 +155,20 @@ func (s *Search) Nodes() []*Node {
 	return out
 }
 
+func (s *Search) engine() *engine.Engine {
+	if s.Engine != nil {
+		return s.Engine
+	}
+	return engine.Default()
+}
+
+func (s *Search) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
+}
+
 // Evaluate tests one feature combination (memoised).
 func (s *Search) Evaluate(fs FeatureSet, parent string, op Op) (*Node, error) {
 	key := fs.Key()
@@ -154,7 +179,15 @@ func (s *Search) Evaluate(fs FeatureSet, parent string, op Op) (*Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("explore: build %s: %w", fs, err)
 	}
-	res, err := core.EvaluateCorpus(m, s.Corpus, s.Confidence, s.Mode, s.IdentifyViolations)
+	sess, err := s.engine().NewSession(m, engine.Config{
+		Confidence:         s.Confidence,
+		Mode:               s.Mode,
+		IdentifyViolations: s.IdentifyViolations,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("explore: session %s: %w", fs, err)
+	}
+	res, err := sess.Evaluate(s.ctx(), s.Corpus)
 	if err != nil {
 		return nil, fmt.Errorf("explore: evaluate %s: %w", fs, err)
 	}

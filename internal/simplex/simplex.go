@@ -74,9 +74,49 @@ func (p *Problem) AddConstraint(coeffs exact.Vec, rel Rel, rhs *big.Rat) {
 	if len(coeffs) != p.NumVars {
 		panic(fmt.Sprintf("simplex: constraint width %d != vars %d", len(coeffs), p.NumVars))
 	}
-	p.Constraints = append(p.Constraints, Constraint{
-		Coeffs: coeffs.Clone(), Rel: rel, RHS: new(big.Rat).Set(rhs),
-	})
+	c, r := p.GrowConstraint(rel)
+	for i := range coeffs {
+		c[i].Set(coeffs[i])
+	}
+	r.Set(rhs)
+}
+
+// Reset clears the problem for reuse with n non-negative variables,
+// retaining the constraint storage accumulated by previous uses so that a
+// hot loop (one LP per observation) stops allocating rationals.
+func (p *Problem) Reset(n int) {
+	p.NumVars = n
+	p.Sense = Minimize
+	p.Objective = nil
+	p.Free = nil
+	p.Constraints = p.Constraints[:0]
+}
+
+// GrowConstraint appends one constraint and hands back its coefficient
+// vector (zeroed, length NumVars) and right-hand side for the caller to
+// fill in place. Unlike AddConstraint it reuses the storage of constraints
+// discarded by Reset, so repeated build/solve cycles are allocation-free.
+func (p *Problem) GrowConstraint(rel Rel) (coeffs exact.Vec, rhs *big.Rat) {
+	if len(p.Constraints) < cap(p.Constraints) {
+		p.Constraints = p.Constraints[:len(p.Constraints)+1]
+	} else {
+		p.Constraints = append(p.Constraints, Constraint{})
+	}
+	c := &p.Constraints[len(p.Constraints)-1]
+	c.Rel = rel
+	if c.RHS == nil {
+		c.RHS = new(big.Rat)
+	} else {
+		c.RHS.SetInt64(0)
+	}
+	for len(c.Coeffs) < p.NumVars {
+		c.Coeffs = append(c.Coeffs, new(big.Rat))
+	}
+	c.Coeffs = c.Coeffs[:p.NumVars]
+	for i := range c.Coeffs {
+		c.Coeffs[i].SetInt64(0)
+	}
+	return c.Coeffs, c.RHS
 }
 
 // MarkFree declares variable i free (unrestricted in sign).
@@ -128,14 +168,129 @@ type tableau struct {
 	// frozen, when positive, is the first column index that may not enter
 	// the basis (locks artificial columns out during phase 2).
 	frozen int
+	// Pivot-loop scratch rationals, reused across iterations so the hot
+	// loop does not allocate.
+	sInv, sTmp, sFactor, sRatio, sBestRatio *big.Rat
 }
 
+func (t *tableau) initScratch() {
+	if t.sInv == nil {
+		t.sInv = new(big.Rat)
+		t.sTmp = new(big.Rat)
+		t.sFactor = new(big.Rat)
+		t.sRatio = new(big.Rat)
+		t.sBestRatio = new(big.Rat)
+	}
+}
+
+// Workspace holds reusable storage for the solver: tableau rows, cost
+// vectors, the basis, and a scratch Problem. Solving through a Workspace
+// avoids re-allocating the O(m·n) big.Rat tableau for every LP — the
+// dominant allocation cost of per-observation feasibility testing. A
+// Workspace is not safe for concurrent use; pool one per worker.
+type Workspace struct {
+	vecs    []exact.Vec // arena of rational vectors, reused in call order
+	vecUsed int
+	rows    []exact.Vec
+	basis   []int
+	maps    []varMap
+	slack   []int
+	art     []int
+	t       tableau
+	prob    *Problem
+	lastObj exact.Vec // objective vector of the last successful run
+}
+
+// ratNegOne is the shared -1 used to flip constraint rows; Rat.Mul only
+// reads its operands.
+var ratNegOne = big.NewRat(-1, 1)
+
+// NewWorkspace returns an empty workspace.
+func NewWorkspace() *Workspace { return &Workspace{} }
+
+// Prepare resets and returns the workspace's scratch problem with n
+// non-negative variables, for callers that rebuild a structurally similar
+// LP on every iteration.
+func (w *Workspace) Prepare(n int) *Problem {
+	if w.prob == nil {
+		w.prob = NewProblem(n)
+	}
+	w.prob.Reset(n)
+	return w.prob
+}
+
+// vec returns a zeroed rational vector of length n backed by the arena.
+func (w *Workspace) vec(n int) exact.Vec {
+	if w.vecUsed < len(w.vecs) {
+		v := w.vecs[w.vecUsed]
+		for len(v) < n {
+			v = append(v, new(big.Rat))
+		}
+		v = v[:n]
+		w.vecs[w.vecUsed] = v
+		w.vecUsed++
+		for i := range v {
+			v[i].SetInt64(0)
+		}
+		return v
+	}
+	v := exact.NewVec(n)
+	w.vecs = append(w.vecs, v)
+	w.vecUsed++
+	return v
+}
+
+type varMap struct{ pos, neg int }
+
 // Solve solves the problem. A nil objective is treated as the zero
-// objective (feasibility only).
+// objective (feasibility only). The returned Result does not alias
+// workspace storage and stays valid across subsequent Solve calls.
 func Solve(p *Problem) Result {
+	return NewWorkspace().Solve(p)
+}
+
+// Solve solves the problem using the workspace's reusable storage.
+func (w *Workspace) Solve(p *Problem) Result {
+	st := w.run(p)
+	if st != Optimal {
+		return Result{Status: st}
+	}
+	t := &w.t
+	obj := w.lastObj
+
+	// Extract solution. X is built from fresh rationals so the Result
+	// survives workspace reuse.
+	y := w.vec(t.n)
+	for i, bi := range t.basis {
+		y[bi].Set(t.b[i])
+	}
+	x := exact.NewVec(p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		x[j].Set(y[w.maps[j].pos])
+		if w.maps[j].neg >= 0 {
+			x[j].Sub(x[j], y[w.maps[j].neg])
+		}
+	}
+	objVal := obj.Dot(x)
+	return Result{Status: Optimal, X: x, Objective: objVal}
+}
+
+// SolveStatus runs the solver and reports only the status, skipping
+// solution extraction — the fast path for pure feasibility queries, which
+// never look at X. Solve and SolveStatus never mutate the problem, so a
+// cached Problem may be solved repeatedly (and concurrently, from
+// distinct workspaces).
+func (w *Workspace) SolveStatus(p *Problem) Status {
+	return w.run(p)
+}
+
+// run executes both simplex phases on the workspace tableau and leaves the
+// final state in place for extraction.
+func (w *Workspace) run(p *Problem) Status {
+	w.vecUsed = 0
 	obj := p.Objective
 	if obj == nil {
-		obj = exact.NewVec(p.NumVars)
+		obj = w.vec(p.NumVars)
 	}
 	if len(obj) != p.NumVars {
 		panic("simplex: objective width mismatch")
@@ -143,8 +298,10 @@ func Solve(p *Problem) Result {
 
 	// Map original variables to standard-form columns. Free variables
 	// split into positive and negative parts.
-	type varMap struct{ pos, neg int }
-	maps := make([]varMap, p.NumVars)
+	if cap(w.maps) < p.NumVars {
+		w.maps = make([]varMap, p.NumVars)
+	}
+	maps := w.maps[:p.NumVars]
 	n := 0
 	for i := 0; i < p.NumVars; i++ {
 		maps[i].pos = n
@@ -158,8 +315,19 @@ func Solve(p *Problem) Result {
 	}
 	m := len(p.Constraints)
 
-	// Count slack columns.
-	slackCol := make([]int, m)
+	// Count slack columns, and decide which rows need an artificial: a row
+	// whose slack carries coefficient +1 after sign normalisation (LE with
+	// RHS ≥ 0, or GE with RHS < 0) seeds the phase-1 basis with its slack
+	// instead — the standard crash basis, which shrinks the tableau and
+	// often skips phase-1 pivoting entirely.
+	if cap(w.slack) < m {
+		w.slack = make([]int, m)
+	}
+	if cap(w.art) < m {
+		w.art = make([]int, m)
+	}
+	slackCol := w.slack[:m]
+	artCol := w.art[:m]
 	for i, con := range p.Constraints {
 		if con.Rel == EQ {
 			slackCol[i] = -1
@@ -168,15 +336,34 @@ func Solve(p *Problem) Result {
 			n++
 		}
 	}
+	nArt := 0
+	for i, con := range p.Constraints {
+		negated := con.RHS.Sign() < 0
+		if (con.Rel == LE && !negated) || (con.Rel == GE && negated) {
+			artCol[i] = -1
+		} else {
+			artCol[i] = n + nArt
+			nArt++
+		}
+	}
 
-	t := &tableau{n: n + m, m: m} // + m artificial columns
-	t.a = make([]exact.Vec, m)
-	t.b = exact.NewVec(m)
-	t.basis = make([]int, m)
-	negOne := big.NewRat(-1, 1)
+	t := &w.t
+	t.n, t.m = n+nArt, m
+	t.frozen = 0
+	t.initScratch()
+	if cap(w.rows) < m {
+		w.rows = make([]exact.Vec, m)
+	}
+	t.a = w.rows[:m]
+	t.b = w.vec(m)
+	if cap(w.basis) < m {
+		w.basis = make([]int, m)
+	}
+	t.basis = w.basis[:m]
+	negOne := ratNegOne
 
 	for i, con := range p.Constraints {
-		row := exact.NewVec(t.n)
+		row := w.vec(t.n)
 		for j := 0; j < p.NumVars; j++ {
 			if con.Coeffs[j].Sign() == 0 {
 				continue
@@ -186,7 +373,8 @@ func Solve(p *Problem) Result {
 				row[maps[j].neg].Neg(con.Coeffs[j])
 			}
 		}
-		rhs := new(big.Rat).Set(con.RHS)
+		rhs := t.b[i]
+		rhs.Set(con.RHS)
 		switch con.Rel {
 		case LE:
 			row[slackCol[i]].SetInt64(1)
@@ -200,34 +388,41 @@ func Solve(p *Problem) Result {
 			}
 			rhs.Neg(rhs)
 		}
-		// artificial variable for row i
-		art := n + i
-		row[art].SetInt64(1)
 		t.a[i] = row
-		t.b[i].Set(rhs)
-		t.basis[i] = art
+		if artCol[i] >= 0 {
+			row[artCol[i]].SetInt64(1)
+			t.basis[i] = artCol[i]
+		} else {
+			// Slack coefficient is +1 here by construction.
+			t.basis[i] = slackCol[i]
+		}
 	}
 
-	// Phase 1: minimise sum of artificials.
-	phase1 := exact.NewVec(t.n)
-	for i := 0; i < m; i++ {
-		phase1[n+i].SetInt64(1)
+	// Phase 1: minimise the sum of artificials (skipped when the crash
+	// basis is already feasible).
+	if nArt > 0 {
+		phase1 := w.vec(t.n)
+		for i := 0; i < m; i++ {
+			if artCol[i] >= 0 {
+				phase1[artCol[i]].SetInt64(1)
+			}
+		}
+		t.c = phase1
+		if st := t.optimize(); st == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded cannot happen.
+			panic("simplex: phase 1 unbounded")
+		}
+		if t.objectiveValue().Sign() > 0 {
+			return Infeasible
+		}
+		// Drive remaining artificials out of the basis where possible.
+		t.expelArtificials(n)
 	}
-	t.c = phase1
-	if st := t.optimize(); st == Unbounded {
-		// Phase-1 objective is bounded below by 0; unbounded cannot happen.
-		panic("simplex: phase 1 unbounded")
-	}
-	if t.objectiveValue().Sign() > 0 {
-		return Result{Status: Infeasible}
-	}
-	// Drive remaining artificials out of the basis where possible.
-	t.expelArtificials(n)
 
 	// Phase 2: original objective over standard-form columns; artificial
 	// columns get prohibitive handling by freezing them at zero (they are
 	// nonbasic or basic at zero after phase 1; we simply forbid entering).
-	c2 := exact.NewVec(t.n)
+	c2 := w.vec(t.n)
 	for j := 0; j < p.NumVars; j++ {
 		c2[maps[j].pos].Set(obj[j])
 		if maps[j].neg >= 0 {
@@ -242,23 +437,10 @@ func Solve(p *Problem) Result {
 	t.c = c2
 	t.frozen = n // columns ≥ n (artificials) may not enter
 	if st := t.optimize(); st == Unbounded {
-		return Result{Status: Unbounded}
+		return Unbounded
 	}
-
-	// Extract solution.
-	y := exact.NewVec(t.n)
-	for i, bi := range t.basis {
-		y[bi].Set(t.b[i])
-	}
-	x := exact.NewVec(p.NumVars)
-	for j := 0; j < p.NumVars; j++ {
-		x[j].Set(y[maps[j].pos])
-		if maps[j].neg >= 0 {
-			x[j].Sub(x[j], y[maps[j].neg])
-		}
-	}
-	objVal := obj.Dot(x)
-	return Result{Status: Optimal, X: x, Objective: objVal}
+	w.lastObj = obj
+	return Optimal
 }
 
 // optimize runs Bland-rule primal simplex on the current tableau/costs.
@@ -285,8 +467,7 @@ func (t *tableau) enteringColumn() int {
 	if t.frozen > 0 {
 		limit = t.frozen
 	}
-	r := new(big.Rat)
-	tmp := new(big.Rat)
+	r, tmp := t.sRatio, t.sTmp
 	for j := 0; j < limit; j++ {
 		if t.isBasic(j) {
 			continue
@@ -320,8 +501,7 @@ func (t *tableau) isBasic(j int) bool {
 // (lowest basis index), or -1 if the column is unbounded.
 func (t *tableau) leavingRow(col int) int {
 	best := -1
-	var bestRatio *big.Rat
-	ratio := new(big.Rat)
+	bestRatio, ratio := t.sBestRatio, t.sRatio
 	for i := 0; i < t.m; i++ {
 		if t.a[i][col].Sign() <= 0 {
 			continue
@@ -330,7 +510,7 @@ func (t *tableau) leavingRow(col int) int {
 		if best < 0 || ratio.Cmp(bestRatio) < 0 ||
 			(ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[best]) {
 			best = i
-			bestRatio = new(big.Rat).Set(ratio)
+			bestRatio.Set(ratio)
 		}
 	}
 	return best
@@ -338,17 +518,17 @@ func (t *tableau) leavingRow(col int) int {
 
 // pivot performs a full tableau pivot at (row, col).
 func (t *tableau) pivot(row, col int) {
-	inv := new(big.Rat).Inv(t.a[row][col])
+	inv := t.sInv.Inv(t.a[row][col])
 	for j := 0; j < t.n; j++ {
 		t.a[row][j].Mul(t.a[row][j], inv)
 	}
 	t.b[row].Mul(t.b[row], inv)
-	tmp := new(big.Rat)
+	tmp, factor := t.sTmp, t.sFactor
 	for i := 0; i < t.m; i++ {
 		if i == row || t.a[i][col].Sign() == 0 {
 			continue
 		}
-		factor := new(big.Rat).Set(t.a[i][col])
+		factor.Set(t.a[i][col])
 		for j := 0; j < t.n; j++ {
 			if t.a[row][j].Sign() == 0 {
 				continue

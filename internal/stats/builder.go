@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"sync"
+
+	"repro/internal/counters"
+)
+
+// RegionBuilder builds confidence regions with memoisation of the two
+// expensive, reusable pieces of the construction:
+//
+//   - χ² quantiles, keyed by (confidence, degrees of freedom) — the
+//     Newton/bisection inversion of the incomplete gamma function is
+//     identical for every observation over the same counter-set width;
+//   - finished regions (covariance, Jacobi eigendecomposition, slab
+//     half-widths), keyed by (observation, counter set, confidence, noise
+//     mode) — model sweeps (explore's feature search, the Figure 1b/9
+//     counter-group sweeps, Tables 3/5/7) evaluate the same corpus against
+//     many models, and the spectral work depends only on the data, never on
+//     the model.
+//
+// Observations are keyed by pointer identity: a cached region is reused
+// only for the same *counters.Observation value, and mutating an
+// observation's samples after it has been through the builder is a caller
+// bug. The cache is capped at RegionCacheLimit entries; past the cap new
+// regions are built but not retained, so a process-lifetime builder over
+// unbounded distinct corpora degrades to uncached construction instead of
+// growing without bound. Builders scoped to one analysis run stay well
+// under the cap and keep full hit rates.
+//
+// A RegionBuilder is safe for concurrent use.
+type RegionBuilder struct {
+	mu      sync.RWMutex
+	chi     map[chiKey]float64
+	regions map[regionKey]*Region
+}
+
+// RegionCacheLimit bounds the number of retained regions per builder.
+const RegionCacheLimit = 1 << 14
+
+type chiKey struct {
+	confidence float64
+	df         int
+}
+
+type regionKey struct {
+	obs        *counters.Observation
+	set        string
+	confidence float64
+	mode       NoiseMode
+}
+
+// NewRegionBuilder returns an empty builder.
+func NewRegionBuilder() *RegionBuilder {
+	return &RegionBuilder{
+		chi:     make(map[chiKey]float64),
+		regions: make(map[regionKey]*Region),
+	}
+}
+
+// ChiSquareQuantile is the memoised form of the package-level function.
+func (b *RegionBuilder) ChiSquareQuantile(confidence float64, df int) (float64, error) {
+	k := chiKey{confidence, df}
+	b.mu.RLock()
+	q, ok := b.chi[k]
+	b.mu.RUnlock()
+	if ok {
+		return q, nil
+	}
+	q, err := ChiSquareQuantile(confidence, df)
+	if err != nil {
+		return 0, err
+	}
+	b.mu.Lock()
+	b.chi[k] = q
+	b.mu.Unlock()
+	return q, nil
+}
+
+// Region returns the confidence region of o projected onto set (o's own set
+// when set is nil), memoised. Concurrent callers may race to build the same
+// region; the first finished result wins and the duplicates are discarded,
+// which is cheaper than holding a lock across the spectral work.
+func (b *RegionBuilder) Region(o *counters.Observation, set *counters.Set, confidence float64, mode NoiseMode) (*Region, error) {
+	if set == nil {
+		set = o.Set
+	}
+	k := regionKey{obs: o, set: set.Key(), confidence: confidence, mode: mode}
+	b.mu.RLock()
+	r, ok := b.regions[k]
+	b.mu.RUnlock()
+	if ok {
+		return r, nil
+	}
+	proj := o
+	if !o.Set.Equal(set) {
+		proj = o.Project(set)
+	}
+	r, err := newRegion(proj, confidence, mode, b.ChiSquareQuantile)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	if prev, ok := b.regions[k]; ok {
+		r = prev
+	} else if len(b.regions) < RegionCacheLimit {
+		b.regions[k] = r
+	}
+	b.mu.Unlock()
+	return r, nil
+}
+
+// Len reports how many distinct regions are cached (for tests and
+// introspection).
+func (b *RegionBuilder) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.regions)
+}

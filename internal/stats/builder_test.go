@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+func builderObs(label string, seed int64) *counters.Observation {
+	set := counters.NewSet("a", "b", "c")
+	o := counters.NewObservation(label, set)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 100; i++ {
+		x := 100 + 5*rng.NormFloat64()
+		o.Append([]float64{x, x + rng.NormFloat64(), 50 + rng.NormFloat64()})
+	}
+	return o
+}
+
+// TestBuilderMatchesNewRegion checks the memoised path is observationally
+// identical to the direct construction.
+func TestBuilderMatchesNewRegion(t *testing.T) {
+	b := NewRegionBuilder()
+	o := builderObs("x", 1)
+	for _, mode := range []NoiseMode{Correlated, Independent} {
+		got, err := b.Region(o, nil, 0.99, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := NewRegion(o, 0.99, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Set.Equal(want.Set) || got.Mode != want.Mode {
+			t.Fatalf("region identity mismatch")
+		}
+		for i := range want.HalfWidths {
+			if math.Abs(got.HalfWidths[i]-want.HalfWidths[i]) > 1e-12 {
+				t.Fatalf("half-width %d: %g vs %g", i, got.HalfWidths[i], want.HalfWidths[i])
+			}
+			for j := range want.Axes[i] {
+				if got.Axes[i][j] != want.Axes[i][j] {
+					t.Fatalf("axis (%d,%d): %g vs %g", i, j, got.Axes[i][j], want.Axes[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestBuilderMemoises checks pointer-identical reuse for repeated requests
+// and distinct entries per (set, confidence, mode).
+func TestBuilderMemoises(t *testing.T) {
+	b := NewRegionBuilder()
+	o := builderObs("x", 2)
+	r1, err := b.Region(o, nil, 0.99, Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b.Region(o, nil, 0.99, Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatal("repeated request did not hit the cache")
+	}
+	if b.Len() != 1 {
+		t.Fatalf("cache size %d, want 1", b.Len())
+	}
+	// A projection onto a subset is a distinct cache entry.
+	sub := counters.NewSet("a", "b")
+	r3, err := b.Region(o, sub, 0.99, Correlated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Set.Equal(sub) {
+		t.Fatalf("projected region set %v", r3.Set)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("cache size %d, want 2", b.Len())
+	}
+	// Different mode and confidence are distinct entries too.
+	if _, err := b.Region(o, nil, 0.99, Independent); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Region(o, nil, 0.95, Correlated); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("cache size %d, want 4", b.Len())
+	}
+}
+
+// TestBuilderChiSquareMemo checks the quantile cache agrees with the
+// package-level function.
+func TestBuilderChiSquareMemo(t *testing.T) {
+	b := NewRegionBuilder()
+	for i := 0; i < 3; i++ {
+		got, err := b.ChiSquareQuantile(0.99, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ChiSquareQuantile(0.99, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("quantile %g, want %g", got, want)
+		}
+	}
+	if _, err := b.ChiSquareQuantile(1.5, 5); err == nil {
+		t.Fatal("invalid confidence should error")
+	}
+}
+
+// TestBuilderConcurrent hammers one builder from many goroutines; the race
+// detector plus the pointer-identity check catch unsynchronised access.
+func TestBuilderConcurrent(t *testing.T) {
+	b := NewRegionBuilder()
+	obs := []*counters.Observation{builderObs("p", 3), builderObs("q", 4)}
+	var wg sync.WaitGroup
+	regions := make([]*Region, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := b.Region(obs[i%2], nil, 0.99, Correlated)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			regions[i] = r
+		}(i)
+	}
+	wg.Wait()
+	for i := 2; i < 16; i++ {
+		if regions[i] != regions[i%2] {
+			t.Fatalf("goroutine %d got a non-canonical region", i)
+		}
+	}
+	if b.Len() != 2 {
+		t.Fatalf("cache size %d, want 2", b.Len())
+	}
+}

@@ -47,7 +47,17 @@ type Region struct {
 // NewRegion builds the confidence region of an observation at the given
 // confidence level (the paper fixes 99%). The sample-mean covariance is the
 // plug-in estimator Σ_Ȳ = Σ_Y / M.
+//
+// Callers evaluating many observations (or the same observations against
+// many models) should go through a RegionBuilder, which memoises both the
+// χ² quantiles and the finished regions.
 func NewRegion(o *counters.Observation, confidence float64, mode NoiseMode) (*Region, error) {
+	return newRegion(o, confidence, mode, ChiSquareQuantile)
+}
+
+// newRegion is the shared construction core; quantile supplies the χ²
+// quantile (memoised or not, the builder's choice).
+func newRegion(o *counters.Observation, confidence float64, mode NoiseMode, quantile func(p float64, df int) (float64, error)) (*Region, error) {
 	if o.Len() == 0 {
 		return nil, fmt.Errorf("stats: observation %q has no samples", o.Label)
 	}
@@ -64,7 +74,7 @@ func NewRegion(o *counters.Observation, confidence float64, mode NoiseMode) (*Re
 	if err != nil {
 		return nil, err
 	}
-	chi2, err := ChiSquareQuantile(confidence, n)
+	chi2, err := quantile(confidence, n)
 	if err != nil {
 		return nil, err
 	}
