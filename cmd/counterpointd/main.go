@@ -1,0 +1,136 @@
+// Command counterpointd serves CounterPoint feasibility verdicts over
+// HTTP/JSON — the network-facing front end of the batched engine, so
+// models can be registered and corpora evaluated without a local Go
+// caller.
+//
+// At boot the registry is seeded with the paper's case-study catalogue
+// (Tables 3, 5 and 7 plus the converged "discovered" model); uploads add
+// more. One engine serves every request, so confidence-region, LP and
+// session caches stay warm across the whole traffic stream.
+//
+// Usage:
+//
+//	counterpointd [flags]
+//
+// Flags:
+//
+//	-addr host:port    listen address (default :8417)
+//	-confidence p      default confidence level (default 0.99)
+//	-independent       default to independent (naive) confidence regions
+//	-identify          identify violated constraints by default (default true)
+//	-max-concurrent n  cap on simultaneous evaluations (default GOMAXPROCS)
+//	-workers n         engine worker pool size (default GOMAXPROCS)
+//	-no-catalog        start with an empty model registry
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
+// their verdict streams) get shutdownGrace to finish before the listener
+// is torn down and the engine closed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/haswell"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// shutdownGrace bounds how long a graceful shutdown waits for in-flight
+// requests (streams included) before closing connections.
+const shutdownGrace = 10 * time.Second
+
+// testListenerHook, when set (by tests), receives the bound listener
+// address before the server starts accepting.
+var testListenerHook func(net.Addr)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "counterpointd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("counterpointd", flag.ContinueOnError)
+	var (
+		addr          = fs.String("addr", ":8417", "listen address")
+		confidence    = fs.Float64("confidence", core.DefaultConfidence, "default confidence level")
+		independent   = fs.Bool("independent", false, "default to independent (naive) confidence regions")
+		identify      = fs.Bool("identify", true, "identify violated constraints by default (per-request ?identify= overrides)")
+		maxConcurrent = fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "cap on simultaneous evaluations (0 = unlimited)")
+		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size")
+		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *confidence <= 0 || *confidence >= 1 {
+		return fmt.Errorf("confidence must be in (0,1), got %g", *confidence)
+	}
+
+	eng := engine.New(engine.WithWorkers(*workers))
+	defer eng.Close()
+	mode := stats.Correlated
+	if *independent {
+		mode = stats.Independent
+	}
+	var catalog []server.Model
+	if !*noCatalog {
+		for _, cm := range haswell.Catalog() {
+			catalog = append(catalog, server.Model{Name: cm.Name, Source: cm.Source})
+		}
+	}
+	srv := server.New(server.Options{
+		Engine:        eng,
+		Defaults:      engine.Config{Confidence: *confidence, Mode: mode, IdentifyViolations: *identify},
+		MaxConcurrent: *maxConcurrent,
+		Catalog:       catalog,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if testListenerHook != nil {
+		testListenerHook(ln.Addr())
+	}
+	fmt.Fprintf(out, "counterpointd: listening on %s (%d models, %d workers)\n",
+		ln.Addr(), srv.Registry().Len(), eng.Workers())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "counterpointd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// Streams outliving the grace period are closed forcibly; their
+		// engine goroutines exit with the request contexts.
+		hs.Close()
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeAndShutdown boots the daemon on an ephemeral port, exercises a
+// request end to end, and checks cancellation shuts it down cleanly.
+func TestServeAndShutdown(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	testListenerHook = func(a net.Addr) { addrCh <- a }
+	defer func() { testListenerHook = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-max-concurrent", "2"}, &out)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+	base := fmt.Sprintf("http://%s", addr)
+
+	// The catalogue is seeded at boot: m0 is servable by name.
+	resp, err := http.Get(base + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Models []string `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Models) == 0 {
+		t.Fatal("no catalogue models registered at boot")
+	}
+	seeded := map[string]bool{}
+	for _, m := range list.Models {
+		seeded[m] = true
+	}
+	for _, want := range []string{"m0", "t17", "a3", "discovered"} {
+		if !seeded[want] {
+			t.Fatalf("catalogue model %q missing from %v", want, list.Models)
+		}
+	}
+
+	// A round trip through the verdict path: register a model, test it.
+	reg := `{"name":"pde","source":"incr load.causes_walk;\nswitch Pde$Status { Hit => pass; Miss => incr load.pde$_miss; };\ndone;"}`
+	resp, err = http.Post(base+"/v1/models", "application/json", strings.NewReader(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	body := `{"label":"x","events":["load.causes_walk","load.pde$_miss"],"samples":[[10,2],[11,2],[10,3],[12,2],[11,3]]}`
+	resp, err = http.Post(base+"/v1/models/pde/test", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("test endpoint status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	// A catalogue model rejects observations that do not record its
+	// counters instead of zero-filling them.
+	resp, err = http.Post(base+"/v1/models/m0/test", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial observation against m0: status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("graceful shutdown hung")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Fatalf("output %q missing shutdown notice", out.String())
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	if err := run(context.Background(), []string{"-confidence", "2"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("confidence 2 must be rejected")
+	}
+	if err := run(context.Background(), []string{"-bogus"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown flag must be rejected")
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer: run writes from its own
+// goroutine while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

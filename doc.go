@@ -20,13 +20,42 @@
 //     Engine/Session pipeline with a bounded worker pool, region/LP
 //     caching, and streaming corpus evaluation;
 //   - internal/explore — guided model exploration over engine sessions;
+//   - internal/server — the HTTP/JSON feasibility service over the engine;
 //   - internal/haswell, internal/pagetable, internal/memsim,
 //     internal/workloads — the simulated Haswell MMU substrate that stands
 //     in for the paper's silicon;
 //   - internal/experiments — regenerates every table and figure;
-//   - cmd/counterpoint, cmd/hswsim, cmd/experiments — the executables;
+//   - cmd/counterpoint, cmd/counterpointd, cmd/hswsim, cmd/experiments —
+//     the executables;
 //   - examples/ — runnable walkthroughs of the public API (see
-//     examples/engine for the batched/streaming evaluation API).
+//     examples/engine for the batched/streaming evaluation API and
+//     examples/service for the HTTP API).
+//
+// # Service quickstart
+//
+// Start the feasibility daemon (the registry boots with the paper's
+// Table 3/5/7 model catalogue) and drive it with curl:
+//
+//	go run ./cmd/counterpointd -addr :8417 &
+//
+//	# list the catalogue, inspect a model's deduced constraints
+//	curl -s localhost:8417/v1/models
+//	curl -s localhost:8417/v1/models/m0
+//
+//	# register a model from DSL source
+//	curl -s -X POST localhost:8417/v1/models \
+//	  -d '{"name":"pde","source":"incr load.causes_walk;\nswitch Pde$Status { Hit => pass; Miss => incr load.pde$_miss; };\ndone;"}'
+//
+//	# one observation, one verdict (violated constraints included)
+//	curl -s -X POST localhost:8417/v1/models/pde/test \
+//	  -d '{"label":"run","events":["load.causes_walk","load.pde$_miss"],"samples":[[10,2],[11,3],[10,2]]}'
+//
+//	# evaluate a CSV corpus (as written by hswsim), streaming NDJSON
+//	# verdicts; stop at the first refutation
+//	curl -sN -X POST 'localhost:8417/v1/models/pde/evaluate/stream?first=true' \
+//	  -F corpus=@samples.csv -F corpus=@more.csv
+//
+// See DESIGN.md for the API table and internal/server for the handlers.
 //
 // The benchmarks in bench_test.go regenerate each experiment (Figures 1a–9b
 // and Tables 1–7) under the Go benchmark harness, and

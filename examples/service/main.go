@@ -1,0 +1,199 @@
+// Service walkthrough: the counterpointd HTTP/JSON feasibility API.
+//
+// The engine example drives corpus evaluation through the Go API; this one
+// drives the same engine over the wire, the way a fleet-monitoring client
+// would talk to a long-running counterpointd:
+//
+//  1. start an in-process server (identical to cmd/counterpointd),
+//  2. register a model by uploading DSL source,
+//  3. fetch its deduced constraints and counter signatures,
+//  4. test one observation for a single verdict,
+//  5. evaluate a corpus in one shot,
+//  6. stream verdicts over NDJSON and stop at the first refutation.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/haswell"
+	"repro/internal/server"
+)
+
+const modelSrc = `
+incr load.causes_walk;
+do   LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => incr load.pde$_miss;
+};
+done;
+`
+
+func main() {
+	// 1. The service: one engine, catalogue-seeded registry. In production
+	// this is `counterpointd -addr :8417`; here it lives in-process.
+	eng := engine.New()
+	defer eng.Close()
+	var catalog []server.Model
+	for _, cm := range haswell.Catalog() {
+		catalog = append(catalog, server.Model{Name: cm.Name, Source: cm.Source})
+	}
+	ts := httptest.NewServer(server.New(server.Options{
+		Engine:   eng,
+		Defaults: engine.Config{IdentifyViolations: true},
+		Catalog:  catalog,
+	}))
+	defer ts.Close()
+
+	var names struct {
+		Models []string `json:"models"`
+	}
+	getJSON(ts.URL+"/v1/models", &names)
+	fmt.Printf("service is up with %d catalogue models (m0–m11, t0–t17, a0–a3, discovered)\n",
+		len(names.Models))
+
+	// 2. Register a model: POST the DSL, get the compiled summary back.
+	body, _ := json.Marshal(map[string]string{"name": "pde-cache", "source": modelSrc})
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var summary struct {
+		Name     string   `json:"name"`
+		Counters []string `json:"counters"`
+		NumPaths int      `json:"num_paths"`
+	}
+	decode(resp, &summary)
+	fmt.Printf("registered %q: %d μpaths over counters %v\n",
+		summary.Name, summary.NumPaths, summary.Counters)
+
+	// 3. Describe it: the deduced model constraints and per-μpath counter
+	// signatures, servable to any client without a Go toolchain.
+	var desc struct {
+		Constraints []string   `json:"constraints"`
+		Signatures  [][]string `json:"signatures"`
+	}
+	getJSON(ts.URL+"/v1/models/pde-cache", &desc)
+	fmt.Printf("deduced constraints: %v\n", desc.Constraints)
+	fmt.Printf("counter signatures: %v\n", desc.Signatures)
+
+	// 4. One observation, one verdict. The anomalous pde$_miss >
+	// causes_walk pattern refutes the model.
+	set := counters.NewSet("load.causes_walk", "load.pde$_miss")
+	bad := synth("anomalous", set, 700, 1000, 99)
+	verdict := postObservation(ts.URL+"/v1/models/pde-cache/test", bad)
+	fmt.Printf("verdict for %q: feasible=%v violations=%v\n",
+		"anomalous", verdict.Feasible, verdict.Violations)
+
+	// 5. Corpus evaluation: upload many observations, get the aggregate.
+	corpus := []*counters.Observation{
+		synth("run-0", set, 1000, 700, 0),
+		synth("run-1", set, 1000, 700, 1),
+		bad,
+	}
+	payload, _ := json.Marshal(map[string]any{"observations": corpus})
+	resp, err = http.Post(ts.URL+"/v1/models/pde-cache/evaluate", "application/json",
+		bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var agg struct {
+		Total               int            `json:"total"`
+		Infeasible          int            `json:"infeasible"`
+		ViolatedConstraints map[string]int `json:"violated_constraints"`
+	}
+	decode(resp, &agg)
+	fmt.Printf("corpus: %d/%d observations refute the model, violations %v\n",
+		agg.Infeasible, agg.Total, agg.ViolatedConstraints)
+
+	// 6. Streaming: NDJSON verdicts as workers complete them. first=true
+	// asks the engine to stop the run at the first refutation.
+	resp, err = http.Post(ts.URL+"/v1/models/pde-cache/evaluate/stream?first=true&batch=1",
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line struct {
+			Observation string `json:"observation"`
+			Feasible    *bool  `json:"feasible"`
+			Done        bool   `json:"done"`
+			Total       int    `json:"total"`
+			Infeasible  int    `json:"infeasible"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case line.Done:
+			fmt.Printf("stream done: early exit after %d of %d observations\n",
+				line.Total, len(corpus))
+		case line.Feasible != nil && !*line.Feasible:
+			fmt.Printf("streamed refutation from %q\n", line.Observation)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// synth builds an observation whose samples hover around (cw, pm).
+func synth(label string, set *counters.Set, cw, pm float64, seed int64) *counters.Observation {
+	o := counters.NewObservation(label, set)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 500; i++ {
+		o.Append([]float64{cw + rng.NormFloat64(), pm + rng.NormFloat64()})
+	}
+	return o
+}
+
+type verdictResp struct {
+	Feasible   bool     `json:"feasible"`
+	Violations []string `json:"violations"`
+}
+
+func postObservation(url string, o *counters.Observation) verdictResp {
+	body, _ := json.Marshal(o)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var v verdictResp
+	decode(resp, &v)
+	return v
+}
+
+func getJSON(url string, dst any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, dst)
+}
+
+func decode(resp *http.Response, dst any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s: %s", resp.Status, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"math/big"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/counters"
 	"repro/internal/exact"
@@ -108,7 +109,9 @@ type Cone struct {
 	Set        *counters.Set
 	Generators []exact.Vec // normalised, deduplicated, non-zero
 
-	hRep *HRep // cached constraint system
+	hOnce sync.Once // guards the deduction: concurrent first callers share one run
+	hRep  *HRep     // cached constraint system
+	hErr  error
 }
 
 // HRep is the H-representation of a model cone: the complete set of model
@@ -213,11 +216,15 @@ func inConicHull(v exact.Vec, gens []exact.Vec) bool {
 
 // Constraints computes (and caches) the complete H-representation of the
 // cone: equality constraints spanning the orthogonal complement of the
-// generators, plus the facet inequalities of the conic hull.
+// generators, plus the facet inequalities of the conic hull. Safe for
+// concurrent use: first callers racing on an undeduced cone (the service
+// layer's concurrent requests) share a single deduction.
 func (c *Cone) Constraints() (*HRep, error) {
-	if c.hRep != nil {
-		return c.hRep, nil
-	}
+	c.hOnce.Do(func() { c.hRep, c.hErr = c.buildConstraints() })
+	return c.hRep, c.hErr
+}
+
+func (c *Cone) buildConstraints() (*HRep, error) {
 	n := c.Set.Len()
 	h := &HRep{}
 
@@ -230,7 +237,6 @@ func (c *Cone) Constraints() (*HRep, error) {
 	if len(c.Generators) == 0 {
 		// The trivial cone {0}: x = 0 componentwise, already captured by the
 		// n equality constraints above.
-		c.hRep = h
 		return h, nil
 	}
 
@@ -279,7 +285,6 @@ func (c *Cone) Constraints() (*HRep, error) {
 	}
 	sortConstraints(h.Inequalities)
 	sortConstraints(h.Equalities)
-	c.hRep = h
 	return h, nil
 }
 

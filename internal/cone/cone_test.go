@@ -273,3 +273,32 @@ func TestHRepVRepRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestConstraintsConcurrentFirstCall is the race regression for the lazy
+// H-representation cache: the service layer deduces constraints from
+// concurrent request handlers, so racing first callers must share one
+// deduction (previously an unsynchronised write to the cache).
+func TestConstraintsConcurrentFirstCall(t *testing.T) {
+	c := New(set3(), []exact.Vec{
+		exact.VecFromInts(1, 0, 0),
+		exact.VecFromInts(1, 1, 0),
+		exact.VecFromInts(1, 1, 1),
+	})
+	const callers = 8
+	results := make(chan *HRep, callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			h, err := c.Constraints()
+			if err != nil {
+				t.Error(err)
+			}
+			results <- h
+		}()
+	}
+	first := <-results
+	for i := 1; i < callers; i++ {
+		if got := <-results; got != first {
+			t.Fatal("concurrent first callers built distinct H-representations")
+		}
+	}
+}

@@ -41,6 +41,11 @@ func ReadCSV(r io.Reader, label string) (*Observation, error) {
 	}
 	events := make([]Event, len(header))
 	for i, h := range header {
+		if h == "" {
+			// An empty event name is meaningless and (as the sole field of
+			// a row) would not even survive a CSV re-encoding.
+			return nil, fmt.Errorf("counters: empty event name in CSV header column %d", i+1)
+		}
 		events[i] = Event(h)
 	}
 	set := NewSet(events...)

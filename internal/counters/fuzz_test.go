@@ -1,0 +1,64 @@
+package counters
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the CSV decoder's contract on untrusted corpus
+// uploads: malformed input returns an error — never a panic — and
+// accepted input survives a write/read round trip with bit-identical
+// samples.
+func FuzzReadCSV(f *testing.F) {
+	seeds := []string{
+		"",
+		"a,b\n1,2\n",
+		"a,b\n1,2\n3,4\n",
+		"load.causes_walk,load.pde$_miss\n10,2\n11,3\n",
+		"a,a\n1,1\n",          // duplicate header
+		"a,b\n1\n",            // ragged row
+		"a,b\n1,notanum\n",    // non-numeric
+		"a,b\nNaN,Inf\n",      // non-finite values parse as floats
+		"a,b\n1e308,-1e308\n", // huge magnitudes
+		"a,b\n\"1\",\"2\"\n",  // quoted fields
+		"\"a\nb\",c\n1,2\n",   // newline inside quoted header
+		"a,b\r\n1,2\r\n",      // CRLF
+		",\n,\n",              // empty names and fields
+		"a\n0.1\n0.2\n0.30000000000000004\n",
+		"a,b\n1,2,3\n", // too many fields
+		"\xff\xfe,b\n1,2\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		o, err := ReadCSV(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return // rejected input only needs to not panic
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, o); err != nil {
+			t.Fatalf("accepted observation does not re-encode: %v", err)
+		}
+		o2, err := ReadCSV(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("re-encoded CSV does not re-parse: %v\n%q", err, buf.String())
+		}
+		if o2.Set.Len() != o.Set.Len() {
+			t.Fatalf("round trip changed the counter set: %v -> %v", o.Set, o2.Set)
+		}
+		if len(o2.Samples) != len(o.Samples) {
+			t.Fatalf("round trip changed the sample count: %d -> %d", len(o.Samples), len(o2.Samples))
+		}
+		for i := range o.Samples {
+			for j := range o.Samples[i] {
+				a, b := o.Samples[i][j], o2.Samples[i][j]
+				if math.Float64bits(a) != math.Float64bits(b) {
+					t.Fatalf("sample (%d,%d) changed across the round trip: %v -> %v", i, j, a, b)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package counters
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// observationJSON is the wire form of an Observation: the event names fix
+// the column order of the sample matrix, exactly as the CSV encoding's
+// header row does.
+type observationJSON struct {
+	Label   string      `json:"label"`
+	Events  []Event     `json:"events"`
+	Samples [][]float64 `json:"samples"`
+}
+
+// MarshalJSON encodes the observation as {label, events, samples}. The
+// default struct encoding would lose the counter set (its fields are
+// unexported), so JSON goes through this explicit wire form.
+func (o *Observation) MarshalJSON() ([]byte, error) {
+	return json.Marshal(observationJSON{
+		Label:   o.Label,
+		Events:  o.Set.Events(),
+		Samples: o.Samples,
+	})
+}
+
+// UnmarshalJSON decodes the wire form written by MarshalJSON, validating
+// what the typed API enforces by construction: at least one event, no
+// duplicate events, and every sample row as wide as the event list.
+func (o *Observation) UnmarshalJSON(data []byte) error {
+	var w observationJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("counters: decode observation: %w", err)
+	}
+	if len(w.Events) == 0 {
+		return fmt.Errorf("counters: observation %q has no events", w.Label)
+	}
+	for _, e := range w.Events {
+		if e == "" {
+			return fmt.Errorf("counters: observation %q has an empty event name", w.Label)
+		}
+	}
+	set := NewSet(w.Events...)
+	if set.Len() != len(w.Events) {
+		return fmt.Errorf("counters: observation %q has duplicate events", w.Label)
+	}
+	for i, row := range w.Samples {
+		if len(row) != set.Len() {
+			return fmt.Errorf("counters: observation %q sample %d has %d values, want %d",
+				w.Label, i, len(row), set.Len())
+		}
+	}
+	o.Label = w.Label
+	o.Set = set
+	o.Samples = w.Samples
+	return nil
+}

@@ -1,0 +1,56 @@
+package counters
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestObservationJSONRoundTrip(t *testing.T) {
+	o := NewObservation("bench", NewSet("load.ret", "load.causes_walk"))
+	o.Append([]float64{10, 2})
+	o.Append([]float64{11, 3.5})
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Observation
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != o.Label {
+		t.Fatalf("label %q, want %q", got.Label, o.Label)
+	}
+	if !got.Set.Equal(o.Set) {
+		t.Fatalf("set %v, want %v", got.Set, o.Set)
+	}
+	if !reflect.DeepEqual(got.Samples, o.Samples) {
+		t.Fatalf("samples %v, want %v", got.Samples, o.Samples)
+	}
+}
+
+func TestObservationJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"no events", `{"label":"x","events":[],"samples":[]}`, "no events"},
+		{"duplicate events", `{"label":"x","events":["a","a"],"samples":[]}`, "duplicate"},
+		{"ragged row", `{"label":"x","events":["a","b"],"samples":[[1,2],[3]]}`, "sample 1"},
+		{"not json", `{"label":`, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var o Observation
+			err := json.Unmarshal([]byte(c.body), &o)
+			if err == nil {
+				t.Fatal("malformed observation decoded without error")
+			}
+			if c.want != "" && !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

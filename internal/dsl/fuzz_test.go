@@ -1,0 +1,53 @@
+package dsl
+
+import (
+	"testing"
+)
+
+// FuzzParse asserts two invariants the service layer depends on when it
+// compiles untrusted uploaded DSL source:
+//
+//  1. Parse never panics, whatever the input;
+//  2. accepted source round-trips: Format(Parse(src)) re-parses, and a
+//     second format pass is a fixpoint, so canonical form is stable.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"incr a;",
+		"do X;\npass;\ndone;",
+		"incr load.causes_walk;\nswitch Pde$Status {\n    Hit => pass;\n    Miss => incr load.pde$_miss;\n};\ndone;\n",
+		"uop Load {\n    incr a;\n}\nuop Store {\n    done;\n}\n",
+		"switch A { X => { switch B { Y => done; }; }; };",
+		"switch A { X => incr a; Y => do b; Z => pass; };",
+		"// comment\nincr a; done;",
+		"uop L {}",
+		"switch A {}",
+		"incr ;",
+		"done; incr a;",
+		"switch A { X => pass; X => pass; };",
+		"uop 1 { incr a; }",
+		"\x00\xff\xfe",
+		"incr a\nincr b\ndone",
+		"switch Pf { D1 => { incr x; incr y; }; };",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input only needs to not panic
+		}
+		formatted := Format(prog)
+		prog2, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\nsource: %q\nformatted: %q", err, src, formatted)
+		}
+		if again := Format(prog2); again != formatted {
+			t.Fatalf("format is not a fixpoint\nfirst:  %q\nsecond: %q", formatted, again)
+		}
+		if (len(prog.Uops) > 0) != (len(prog2.Uops) > 0) {
+			t.Fatalf("round-trip changed the program shape: %d uops -> %d", len(prog.Uops), len(prog2.Uops))
+		}
+	})
+}

@@ -54,6 +54,19 @@ type Engine struct {
 
 	lpMu sync.RWMutex
 	lps  map[lpKey]*simplex.Problem
+
+	sessMu   sync.RWMutex
+	sessions map[sessionKey]*Session
+}
+
+// sessionKey identifies a shared session. Config is a comparable value
+// type, and models served repeatedly are themselves shared (the server
+// registry hands out one *core.Model per registered name), so pointer
+// identity plus the normalised configuration is the right notion of
+// sameness.
+type sessionKey struct {
+	model *core.Model
+	cfg   Config
 }
 
 type restrictKey struct {
@@ -95,11 +108,12 @@ func WithWorkers(n int) Option {
 // engine stays up for the life of the process.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		workers: runtime.GOMAXPROCS(0),
-		regions: stats.NewRegionBuilder(),
-		quit:    make(chan struct{}),
-		models:  make(map[restrictKey]*core.Model),
-		lps:     make(map[lpKey]*simplex.Problem),
+		workers:  runtime.GOMAXPROCS(0),
+		regions:  stats.NewRegionBuilder(),
+		quit:     make(chan struct{}),
+		models:   make(map[restrictKey]*core.Model),
+		lps:      make(map[lpKey]*simplex.Problem),
+		sessions: make(map[sessionKey]*Session),
 	}
 	for _, o := range opts {
 		o(e)

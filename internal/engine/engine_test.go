@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -451,5 +452,83 @@ func TestEvaluateAfterClose(t *testing.T) {
 	}
 	if res.Total != 0 {
 		t.Fatalf("closed engine evaluated %d observations", res.Total)
+	}
+}
+
+// TestSessionForSharing checks SessionFor memoises per (model, normalised
+// config): the steady state of a service handling many requests against
+// one registered model.
+func TestSessionForSharing(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := pdeModel(t)
+	s1, err := e.SessionFor(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An explicitly-spelled default config shares the normalised session.
+	s2, err := e.SessionFor(m, Config{Confidence: core.DefaultConfidence, BatchSize: DefaultBatchSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatal("equivalent configs built distinct sessions")
+	}
+	s3, err := e.SessionFor(m, Config{Confidence: 0.95})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 == s1 {
+		t.Fatal("distinct configs shared a session")
+	}
+	if _, err := e.SessionFor(m, Config{Confidence: math.NaN()}); err == nil {
+		t.Fatal("NaN confidence must be rejected")
+	}
+}
+
+// TestEphemeralObservationsBypassCaches checks ephemeral sessions build
+// regions and LPs without inserting request-scoped pointers into the
+// engine caches, while verdicts stay identical to the cached path.
+func TestEphemeralObservationsBypassCaches(t *testing.T) {
+	e := New()
+	defer e.Close()
+	m := pdeModel(t)
+	eph, err := e.SessionFor(m, Config{EphemeralObservations: true, IdentifyViolations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := e.SessionFor(m, Config{IdentifyViolations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus := mixedCorpus()
+	verdicts := make([]*core.Verdict, len(corpus))
+	for i, o := range corpus {
+		v, err := eph.Test(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts[i] = v
+	}
+	if got := e.Regions().Len(); got != 0 {
+		t.Fatalf("ephemeral session inserted %d regions into the cache", got)
+	}
+	for i, o := range corpus {
+		want, err := cached.Test(context.Background(), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := verdicts[i]
+		if got.Feasible != want.Feasible || len(got.Violations) != len(want.Violations) {
+			t.Fatalf("%s: ephemeral verdict %v/%d, cached %v/%d", o.Label,
+				got.Feasible, len(got.Violations), want.Feasible, len(want.Violations))
+		}
+	}
+	res, err := eph.Evaluate(context.Background(), mixedCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 4 || res.Infeasible != 2 {
+		t.Fatalf("ephemeral aggregate %d/%d", res.Infeasible, res.Total)
 	}
 }

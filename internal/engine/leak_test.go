@@ -1,0 +1,154 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+)
+
+// This file is the goroutine-leak regression suite for EvaluateStream, the
+// workload counterpointd exposes to the network: every way a stream can be
+// walked away from — abandoned without a reader, cancelled mid-flight, or
+// orphaned by a client disconnect — must leave zero goroutines once the
+// stream's context ends, since a long-lived service pays for every leak on
+// every request.
+
+// settleGoroutines waits for the goroutine count to drop back to baseline,
+// failing with a full stack dump if it never does.
+func settleGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d at baseline, %d now\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStreamLeakAbandoned abandons streams entirely — no reads, no Result,
+// no explicit drain — and requires that ending the request-scoped context
+// releases every goroutine the streams spawned.
+func TestStreamLeakAbandoned(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e := New(WithWorkers(2))
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < 8; i++ {
+		corpus := make([]*counters.Observation, 16)
+		for j := range corpus {
+			corpus[j] = obsAround(fmt.Sprintf("obs-%d-%d", i, j), 500, 100, 40, int64(i*16+j))
+		}
+		in := make(chan *counters.Observation, len(corpus))
+		for _, o := range corpus {
+			in <- o
+		}
+		close(in)
+		_ = s.EvaluateStream(ctx, in) // abandoned: nobody ever looks at it
+	}
+	cancel() // the request context ends; nothing else is done
+	e.Close()
+	settleGoroutines(t, baseline)
+}
+
+// TestStreamLeakMidStreamCancel cancels while verdicts are still being
+// produced and the consumer stops reading at the same moment.
+func TestStreamLeakMidStreamCancel(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e := New(WithWorkers(2))
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *counters.Observation)
+	go func() {
+		// Endless supply: only cancellation can end the run.
+		for i := 0; ; i++ {
+			o := obsAround("obs", 500, 100, 40, int64(i))
+			select {
+			case in <- o:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	st := s.EvaluateStream(ctx, in)
+	for item := range st.C {
+		if item.Err != nil {
+			t.Fatal(item.Err)
+		}
+		if item.Index >= 3 {
+			break // stop reading...
+		}
+	}
+	cancel() // ...and cancel mid-flight, never calling Result
+	e.Close()
+	settleGoroutines(t, baseline)
+}
+
+// TestStreamLeakServerDisconnect models the service shape: the stream's
+// context is a request context that is cancelled when the client goes
+// away, while the handler drains whatever is left and calls Result. Both
+// the handler's drain and the engine's internals must unwind.
+func TestStreamLeakServerDisconnect(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	e := New(WithWorkers(2))
+	s, err := e.NewSession(pdeModel(t), Config{BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqCtx, disconnect := context.WithCancel(context.Background())
+	in := make(chan *counters.Observation)
+	go func() {
+		// Unbounded upload: the run cannot finish before the disconnect.
+		for i := 0; ; i++ {
+			o := obsAround(fmt.Sprintf("obs-%d", i), 500, 100, 40, int64(i))
+			select {
+			case in <- o:
+			case <-reqCtx.Done():
+				return
+			}
+		}
+	}()
+	st := s.EvaluateStream(reqCtx, in)
+	handlerDone := make(chan error, 1)
+	go func() {
+		// The handler: forward verdicts until the stream closes, then
+		// aggregate — exactly what the NDJSON endpoint does.
+		n := 0
+		for item := range st.C {
+			_ = item
+			n++
+			if n == 4 {
+				disconnect() // client vanished mid-response
+			}
+		}
+		_, err := st.Result()
+		handlerDone <- err
+	}()
+	select {
+	case err := <-handlerDone:
+		if err != context.Canceled {
+			t.Fatalf("handler result error = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler never unwound after the disconnect")
+	}
+	e.Close()
+	settleGoroutines(t, baseline)
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/simplex"
 	"repro/internal/stats"
 )
 
@@ -30,6 +31,15 @@ type Config struct {
 	// infeasible observation is found — the early-exit mode for "is this
 	// model refuted at all?" queries (explore's pruning phase).
 	StopOnInfeasible bool
+	// EphemeralObservations marks the session's observations as
+	// request-scoped data that will never be evaluated again: confidence
+	// regions and feasibility LPs are built fresh per verdict instead of
+	// being inserted into the engine caches, whose pointer keys would
+	// otherwise pin every payload (and, once the caps fill, disable
+	// caching for everything else) in a long-lived service. Model-side
+	// caches — χ² quantiles, restricted models, constraints, sessions —
+	// still amortise.
+	EphemeralObservations bool
 }
 
 // DefaultBatchSize is the observations-per-task grouping used when
@@ -59,7 +69,9 @@ type Session struct {
 // cache instead of racing to build it.
 func (e *Engine) NewSession(m *core.Model, cfg Config) (*Session, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Confidence <= 0 || cfg.Confidence >= 1 {
+	// The negated form also rejects NaN, which would otherwise slip
+	// through range checks and fail deep inside LP construction.
+	if !(cfg.Confidence > 0 && cfg.Confidence < 1) {
 		return nil, fmt.Errorf("engine: confidence must be in (0,1), got %g", cfg.Confidence)
 	}
 	if cfg.IdentifyViolations {
@@ -68,6 +80,41 @@ func (e *Engine) NewSession(m *core.Model, cfg Config) (*Session, error) {
 		}
 	}
 	return &Session{eng: e, model: m, cfg: cfg}, nil
+}
+
+// sessionCacheLimit bounds the shared-session cache; like the engine's
+// other caches it degrades to building fresh sessions past the cap.
+const sessionCacheLimit = 1 << 12
+
+// SessionFor returns the engine's shared session for (m, cfg), creating it
+// on first use. Concurrent callers with the same model and configuration —
+// the steady state of a long-lived service handling many requests against
+// one registered model — receive the same *Session, so eager constraint
+// deduction happens once and verdicts share every engine cache. cfg is
+// normalised first: configurations differing only in unspecified defaults
+// share a session.
+func (e *Engine) SessionFor(m *core.Model, cfg Config) (*Session, error) {
+	k := sessionKey{model: m, cfg: cfg.withDefaults()}
+	e.sessMu.RLock()
+	s, ok := e.sessions[k]
+	e.sessMu.RUnlock()
+	if ok {
+		return s, nil
+	}
+	// Built outside the lock: session construction may deduce the model's
+	// constraints, which is far too slow to serialise other lookups behind.
+	s, err := e.NewSession(m, k.cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.sessMu.Lock()
+	if prev, ok := e.sessions[k]; ok {
+		s = prev
+	} else if len(e.sessions) < sessionCacheLimit {
+		e.sessions[k] = s
+	}
+	e.sessMu.Unlock()
+	return s, nil
 }
 
 // Model returns the model under test.
@@ -88,15 +135,32 @@ func (s *Session) Restrict(set *counters.Set) (*Session, error) {
 }
 
 // test evaluates one observation using pooled scratch state and the
-// engine-wide region and LP caches.
+// engine-wide region and LP caches (or, for ephemeral sessions, fresh
+// uncached structures that die with the verdict).
 func (s *Session) test(sc *evalScratch, o *counters.Observation) (*core.Verdict, error) {
-	r, err := s.eng.regions.Region(o, s.model.Set, s.cfg.Confidence, s.cfg.Mode)
-	if err != nil {
-		return nil, err
-	}
-	p, err := s.eng.lpFor(s.model, r, sc)
-	if err != nil {
-		return nil, err
+	var (
+		r   *stats.Region
+		p   *simplex.Problem
+		err error
+	)
+	if s.cfg.EphemeralObservations {
+		r, err = s.eng.regions.RegionUncached(o, s.model.Set, s.cfg.Confidence, s.cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		p = sc.ws.Prepare(0)
+		if err := s.model.RegionLP(p, r); err != nil {
+			return nil, err
+		}
+	} else {
+		r, err = s.eng.regions.Region(o, s.model.Set, s.cfg.Confidence, s.cfg.Mode)
+		if err != nil {
+			return nil, err
+		}
+		p, err = s.eng.lpFor(s.model, r, sc)
+		if err != nil {
+			return nil, err
+		}
 	}
 	v, err := s.model.TestRegionLP(sc.ws, p, r, s.cfg.IdentifyViolations)
 	if err != nil {

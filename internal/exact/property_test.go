@@ -1,0 +1,141 @@
+package exact
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// quantizeDenoms are the grid denominators the property suite sweeps:
+// the LP's dyadic default, other powers of two, and the non-power-of-two
+// denominators that force the exact big-integer path.
+var quantizeDenoms = []int64{1, 2, 256, 1 << 20, 1 << 62, 3, 10, 1000, 999999937}
+
+// interestingFloats are the boundary values every run checks before the
+// random sweep: zeros, subnormals, the normal/subnormal boundary, values
+// beyond 2^53 (where the seed's int64 idiom overflowed), and extremes.
+func interestingFloats() []float64 {
+	fs := []float64{
+		0,
+		math.Copysign(0, -1),
+		math.SmallestNonzeroFloat64, // 2^-1074, subnormal
+		-math.SmallestNonzeroFloat64,
+		math.Float64frombits(0x000fffffffffffff), // largest subnormal
+		math.Float64frombits(0x0010000000000000), // smallest normal
+		1e-310,                                   // subnormal
+		0.1, -0.1, 1.0 / 3.0,
+		1, -1, 255.999, 256.001,
+		1 << 52, 1<<53 - 1, 1 << 53, 1<<53 + 2,
+		-(1 << 53), math.Ldexp(1, 60), math.Ldexp(-3, 100),
+		1e300, -1e300, math.MaxFloat64, -math.MaxFloat64,
+	}
+	return fs
+}
+
+// TestQuantizeOutwardProperty is the property test for the float → ℚ slab
+// quantisation the feasibility LP depends on: for any finite float64 x and
+// any positive denominator d,
+//
+//	Quantize(x, floor) ≤ x ≤ Quantize(x, ceil)   (as exact rationals)
+//
+// so outward rounding can only grow a confidence region, never shrink it —
+// plus tightness (the bounds are within 1/d of x) and grid membership
+// (d·bound is an integer).
+func TestQuantizeOutwardProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	floats := interestingFloats()
+	// Random slab bounds across the whole exponent range, subnormals and
+	// huge magnitudes included: raw bit patterns cover every regime far
+	// better than uniform sampling would.
+	for len(floats) < 4096 {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		floats = append(floats, f)
+	}
+	one := new(big.Int).SetInt64(1)
+	for _, d := range quantizeDenoms {
+		denom := new(big.Rat).SetFrac(big.NewInt(1), big.NewInt(d))
+		for _, f := range floats {
+			lo, err := Quantize(f, false, d)
+			if err != nil {
+				t.Fatalf("Quantize(%g, floor, %d): %v", f, d, err)
+			}
+			hi, err := Quantize(f, true, d)
+			if err != nil {
+				t.Fatalf("Quantize(%g, ceil, %d): %v", f, d, err)
+			}
+			x, err := RatFromFloat(f)
+			if err != nil {
+				t.Fatalf("RatFromFloat(%g): %v", f, err)
+			}
+			// The outward property: lo ≤ x ≤ hi.
+			if lo.Cmp(x) > 0 {
+				t.Fatalf("floor quantize moved inward: Quantize(%g, floor, %d) = %s > %s",
+					f, d, lo.RatString(), x.RatString())
+			}
+			if hi.Cmp(x) < 0 {
+				t.Fatalf("ceil quantize moved inward: Quantize(%g, ceil, %d) = %s < %s",
+					f, d, hi.RatString(), x.RatString())
+			}
+			// Tightness: each bound is within one grid step of x.
+			if diff := new(big.Rat).Sub(x, lo); diff.Cmp(denom) >= 0 {
+				t.Fatalf("floor quantize overshot: x - lo = %s ≥ 1/%d (x=%g)", diff.RatString(), d, f)
+			}
+			if diff := new(big.Rat).Sub(hi, x); diff.Cmp(denom) >= 0 {
+				t.Fatalf("ceil quantize overshot: hi - x = %s ≥ 1/%d (x=%g)", diff.RatString(), d, f)
+			}
+			// Grid membership: d·lo and d·hi are integers.
+			for name, b := range map[string]*big.Rat{"floor": lo, "ceil": hi} {
+				scaled := new(big.Rat).Mul(b, new(big.Rat).SetInt64(d))
+				if scaled.Denom().Cmp(one) != 0 {
+					t.Fatalf("%s bound %s is off the 1/%d grid (x=%g)", name, b.RatString(), d, f)
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizeAgreesAcrossPaths pins the fast dyadic path to the exact
+// big-integer slow path: for power-of-two denominators, disabling the fast
+// path by going through the rational arithmetic directly must produce the
+// same grid point.
+func TestQuantizeAgreesAcrossPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const d = 256
+	for i := 0; i < 2000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		for _, ceil := range []bool{false, true} {
+			got, err := Quantize(f, ceil, d)
+			if err != nil {
+				t.Fatalf("Quantize(%g, %v, %d): %v", f, ceil, d, err)
+			}
+			want := slowQuantize(t, f, ceil, d)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("Quantize(%g, %v, %d) = %s, slow path %s",
+					f, ceil, d, got.RatString(), want.RatString())
+			}
+		}
+	}
+}
+
+// slowQuantize recomputes the quantisation with big-integer arithmetic
+// only, independent of the implementation under test.
+func slowQuantize(t *testing.T, f float64, ceil bool, d int64) *big.Rat {
+	t.Helper()
+	x := new(big.Rat)
+	if x.SetFloat64(f) == nil {
+		t.Fatalf("SetFloat64(%g) failed", f)
+	}
+	num := new(big.Int).Mul(x.Num(), big.NewInt(d))
+	q, m := new(big.Int).DivMod(num, x.Denom(), new(big.Int))
+	if ceil && m.Sign() != 0 {
+		q.Add(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetFrac(q, big.NewInt(d))
+}

@@ -102,6 +102,41 @@ func Table5Models() []NamedFeatures {
 	}
 }
 
+// CatalogModel pairs one named model of the case-study catalogue with its
+// DSL source, the form service front ends (cmd/counterpointd) register at
+// boot so every Table 3/5/7 model is servable by name without a Go caller.
+type CatalogModel struct {
+	Name     string
+	Features ModelFeatures
+	Source   string
+}
+
+// Catalog returns the full named-model catalogue — the initial search
+// m0–m11, the trigger analysis t0–t17, the abort analysis a0–a3, and the
+// converged "discovered" model — each with its generated DSL source.
+// Names are unique across the tables.
+func Catalog() []CatalogModel {
+	var out []CatalogModel
+	add := func(nf NamedFeatures) {
+		out = append(out, CatalogModel{
+			Name:     nf.Name,
+			Features: nf.Features,
+			Source:   GenerateDSL(nf.Features),
+		})
+	}
+	for _, nf := range Table3Models() {
+		add(nf)
+	}
+	for _, nf := range Table5Models() {
+		add(nf)
+	}
+	for _, nf := range Table7Models() {
+		add(nf)
+	}
+	add(NamedFeatures{Name: "discovered", Features: DiscoveredModelFeatures()})
+	return out
+}
+
 // Table7Models returns the abort-point variants of t0 with walk bypassing
 // removed (Table 7): a0 allows aborts only during the walk (the baseline
 // squash-abort every model has), a1–a3 cumulatively add earlier points.

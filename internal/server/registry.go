@@ -1,0 +1,140 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+)
+
+// Registry errors, mapped to HTTP statuses by the handlers.
+var (
+	// ErrUnknownModel reports a lookup of a name that was never registered.
+	ErrUnknownModel = errors.New("server: unknown model")
+	// ErrModelExists reports a registration under a taken name.
+	ErrModelExists = errors.New("server: model already registered")
+)
+
+// Entry is one named model held by a Registry: its DSL source plus the
+// compiled model, materialised at most once. Catalog seeds compile lazily
+// on first request so boot stays instant; uploads compile eagerly so bad
+// DSL is rejected at registration time.
+type Entry struct {
+	Name   string
+	Source string
+
+	once  sync.Once
+	model *core.Model
+	err   error
+}
+
+// Model returns the compiled model, compiling the source on first call.
+// Every subsequent caller — and therefore every session and engine cache
+// keyed by model pointer — shares the one instance.
+func (e *Entry) Model() (*core.Model, error) {
+	e.once.Do(func() {
+		d, err := dsl.Compile(e.Name, e.Source)
+		if err != nil {
+			e.err = fmt.Errorf("server: model %q: %w", e.Name, err)
+			return
+		}
+		e.model, e.err = core.NewModel(e.Name, d, nil)
+	})
+	return e.model, e.err
+}
+
+// Registry holds the named models a server instance serves. It is safe for
+// concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Seed adds an entry without compiling it, for boot-time catalogues whose
+// sources are known-good. Existing names are left untouched.
+func (r *Registry) Seed(name, source string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; !ok {
+		r.entries[name] = &Entry{Name: name, Source: source}
+	}
+}
+
+// validName rejects names that could not be addressed through the
+// /v1/models/{name} routes: empty strings, path separators, and
+// whitespace or control characters.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: model name must not be empty")
+	}
+	for _, c := range name {
+		if c == '/' || c == '\\' || c <= ' ' || c == 0x7f {
+			return fmt.Errorf("server: model name %q contains %q; names must be path-safe", name, c)
+		}
+	}
+	return nil
+}
+
+// Register compiles source and adds it under name. The compile happens
+// before the name is claimed, so a failed registration leaves no trace; a
+// duplicate name fails with ErrModelExists without recompiling anything.
+func (r *Registry) Register(name, source string) (*Entry, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	r.mu.RLock()
+	_, taken := r.entries[name]
+	r.mu.RUnlock()
+	if taken {
+		return nil, fmt.Errorf("%w: %q", ErrModelExists, name)
+	}
+	e := &Entry{Name: name, Source: source}
+	if _, err := e.Model(); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, taken := r.entries[name]; taken {
+		return nil, fmt.Errorf("%w: %q", ErrModelExists, name)
+	}
+	r.entries[name] = e
+	return e, nil
+}
+
+// Get returns the entry registered under name.
+func (r *Registry) Get(name string) (*Entry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return e, nil
+}
+
+// Names returns the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for n := range r.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

@@ -1,0 +1,644 @@
+// Package server is counterpointd's HTTP/JSON feasibility service: a
+// network-facing surface over internal/engine, so verdicts no longer
+// require a local Go caller.
+//
+// A Server owns a Registry of named models (seeded from the haswell
+// catalogue at boot, extended by uploads) and one long-lived Engine whose
+// region/LP/model caches amortise across requests — the steady state the
+// paper's Figure 9 sweeps characterise. Each (model, Config) pair shares a
+// single engine session via Engine.SessionFor, so concurrent requests
+// against the same model hit warm caches instead of rebuilding them.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /v1/models                      list registered model names
+//	POST /v1/models                      compile + register DSL source
+//	GET  /v1/models/{name}               constraints and counter signatures
+//	POST /v1/models/{name}/test          one observation -> one verdict
+//	POST /v1/models/{name}/evaluate      corpus (JSON or multipart CSV) -> aggregate
+//	POST /v1/models/{name}/evaluate/stream  corpus -> NDJSON verdict stream
+//	GET  /healthz                        liveness and cache statistics
+//
+// Evaluation endpoints accept per-request overrides as query parameters:
+// confidence, mode (correlated|independent), identify, first, batch.
+// Streaming honours client disconnects: when the request context ends the
+// underlying engine stream is cancelled and its goroutines exit.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/stats"
+)
+
+// DefaultMaxBodyBytes bounds request bodies (corpus uploads included)
+// unless Options.MaxBodyBytes says otherwise.
+const DefaultMaxBodyBytes = 64 << 20
+
+// Model is a (name, DSL source) pair for seeding a server's registry.
+type Model struct {
+	Name   string
+	Source string
+}
+
+// Options configures a Server.
+type Options struct {
+	// Engine is the evaluation runtime; nil uses engine.Default().
+	Engine *engine.Engine
+	// Defaults seeds every request's evaluation configuration; query
+	// parameters override individual fields per request.
+	Defaults engine.Config
+	// MaxConcurrent caps simultaneous verdict-producing requests (test,
+	// evaluate, stream). 0 means unlimited. Requests beyond the cap queue
+	// until a slot frees or their context ends.
+	MaxConcurrent int
+	// MaxBodyBytes bounds request bodies; 0 means DefaultMaxBodyBytes.
+	MaxBodyBytes int64
+	// Catalog seeds the registry at construction (sources compile lazily).
+	Catalog []Model
+}
+
+// Server is the HTTP feasibility service. Create with New; it implements
+// http.Handler and is safe for concurrent use.
+type Server struct {
+	eng       *engine.Engine
+	reg       *Registry
+	defaults  engine.Config
+	sem       chan struct{}
+	bodyLimit int64
+	mux       *http.ServeMux
+}
+
+// New builds a Server from opts.
+func New(opts Options) *Server {
+	s := &Server{
+		eng:       opts.Engine,
+		reg:       NewRegistry(),
+		defaults:  opts.Defaults,
+		bodyLimit: opts.MaxBodyBytes,
+		mux:       http.NewServeMux(),
+	}
+	if s.eng == nil {
+		s.eng = engine.Default()
+	}
+	if s.bodyLimit <= 0 {
+		s.bodyLimit = DefaultMaxBodyBytes
+	}
+	if opts.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, opts.MaxConcurrent)
+	}
+	for _, m := range opts.Catalog {
+		s.reg.Seed(m.Name, m.Source)
+	}
+	s.mux.HandleFunc("GET /v1/models", s.handleList)
+	s.mux.HandleFunc("POST /v1/models", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleDescribe)
+	s.mux.HandleFunc("POST /v1/models/{name}/test", s.handleTest)
+	s.mux.HandleFunc("POST /v1/models/{name}/evaluate", s.handleEvaluate)
+	s.mux.HandleFunc("POST /v1/models/{name}/evaluate/stream", s.handleEvaluateStream)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Registry exposes the server's model registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeHTTP dispatches to the service mux.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.bodyLimit)
+	s.mux.ServeHTTP(w, r)
+}
+
+// acquire claims an evaluation slot, waiting until one frees or ctx ends.
+func (s *Server) acquire(ctx context.Context) error {
+	if s.sem == nil {
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Server) release() {
+	if s.sem != nil {
+		<-s.sem
+	}
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorJSON{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// lookup resolves the {name} path value to a compiled model, writing the
+// appropriate error response when it cannot.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) (*core.Model, bool) {
+	name := r.PathValue("name")
+	e, err := s.reg.Get(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return nil, false
+	}
+	m, err := e.Model()
+	if err != nil {
+		// A seeded source that fails to compile is a server-side defect,
+		// not a client error.
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return m, true
+}
+
+// requestConfig layers query-parameter overrides over the server defaults.
+func (s *Server) requestConfig(r *http.Request) (engine.Config, error) {
+	cfg := s.defaults
+	q := r.URL.Query()
+	if v := q.Get("confidence"); v != "" {
+		c, err := strconv.ParseFloat(v, 64)
+		// The negated range form also rejects NaN at the API boundary.
+		if err != nil || !(c > 0 && c < 1) {
+			return cfg, fmt.Errorf("confidence must be a number in (0,1), got %q", v)
+		}
+		cfg.Confidence = c
+	}
+	switch v := q.Get("mode"); v {
+	case "":
+	case "correlated":
+		cfg.Mode = stats.Correlated
+	case "independent":
+		cfg.Mode = stats.Independent
+	default:
+		return cfg, fmt.Errorf("mode must be correlated or independent, got %q", v)
+	}
+	for _, b := range []struct {
+		key string
+		dst *bool
+	}{
+		{"identify", &cfg.IdentifyViolations},
+		{"first", &cfg.StopOnInfeasible},
+	} {
+		if v := q.Get(b.key); v != "" {
+			on, err := strconv.ParseBool(v)
+			if err != nil {
+				return cfg, fmt.Errorf("%s must be a boolean, got %q", b.key, v)
+			}
+			*b.dst = on
+		}
+	}
+	if v := q.Get("batch"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return cfg, fmt.Errorf("batch must be a positive integer, got %q", v)
+		}
+		cfg.BatchSize = n
+	}
+	// Request payloads are decoded fresh per request and never recur, so
+	// the engine must not retain them in its pointer-keyed caches. This is
+	// service policy, not client-tunable.
+	cfg.EphemeralObservations = true
+	return cfg, nil
+}
+
+// missingCounters lists the model counters an observation did not record.
+// Testing such an observation would silently substitute constant 0 for
+// the unrecorded events — a confidently wrong verdict — so the handlers
+// reject it instead (the counterpoint CLI guards the same way, by
+// intersecting counter sets up front).
+func missingCounters(m *core.Model, o *counters.Observation) []string {
+	var missing []string
+	for _, e := range m.Set.Events() {
+		if !o.Set.Contains(e) {
+			missing = append(missing, string(e))
+		}
+	}
+	return missing
+}
+
+// checkCovers validates every observation against the session's model,
+// writing a 400 naming the unrecorded counters on failure.
+func checkCovers(w http.ResponseWriter, sess *engine.Session, corpus ...*counters.Observation) bool {
+	for _, o := range corpus {
+		if missing := missingCounters(sess.Model(), o); len(missing) > 0 {
+			writeError(w, http.StatusBadRequest,
+				"observation %q does not record model counters %v (see GET /v1/models/%s for the full set)",
+				o.Label, missing, sess.Model().Name)
+			return false
+		}
+	}
+	return true
+}
+
+// session resolves model and per-request configuration to the shared
+// engine session for the pair.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (*engine.Session, bool) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return nil, false
+	}
+	cfg, err := s.requestConfig(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return nil, false
+	}
+	sess, err := s.eng.SessionFor(m, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return nil, false
+	}
+	return sess, true
+}
+
+// --- GET /healthz ---
+
+type healthJSON struct {
+	Status  string `json:"status"`
+	Models  int    `json:"models"`
+	Workers int    `json:"workers"`
+	Regions int    `json:"cached_regions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:  "ok",
+		Models:  s.reg.Len(),
+		Workers: s.eng.Workers(),
+		Regions: s.eng.Regions().Len(),
+	})
+}
+
+// --- GET /v1/models ---
+
+type listJSON struct {
+	Models []string `json:"models"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, listJSON{Models: s.reg.Names()})
+}
+
+// --- POST /v1/models ---
+
+type registerJSON struct {
+	Name   string `json:"name"`
+	Source string `json:"source"`
+}
+
+type modelSummaryJSON struct {
+	Name     string   `json:"name"`
+	Counters []string `json:"counters"`
+	NumPaths int      `json:"num_paths"`
+	NumCone  int      `json:"num_generators"`
+}
+
+func summarise(m *core.Model) modelSummaryJSON {
+	evs := m.Set.Events()
+	names := make([]string, len(evs))
+	for i, e := range evs {
+		names[i] = string(e)
+	}
+	return modelSummaryJSON{
+		Name:     m.Name,
+		Counters: names,
+		NumPaths: m.NumPaths(),
+		NumCone:  len(m.Cone().Generators),
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	e, err := s.reg.Register(req.Name, req.Source)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrModelExists) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	m, _ := e.Model()
+	writeJSON(w, http.StatusCreated, summarise(m))
+}
+
+// --- GET /v1/models/{name} ---
+
+type describeJSON struct {
+	modelSummaryJSON
+	Constraints []string   `json:"constraints"`
+	Signatures  [][]string `json:"signatures"`
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	m, ok := s.lookup(w, r)
+	if !ok {
+		return
+	}
+	h, err := m.Constraints()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "deduce constraints: %v", err)
+		return
+	}
+	cons := h.All()
+	out := describeJSON{
+		modelSummaryJSON: summarise(m),
+		Constraints:      make([]string, len(cons)),
+		Signatures:       [][]string{},
+	}
+	for i, k := range cons {
+		out.Constraints[i] = k.String()
+	}
+	sigs, err := m.Diagram.Signatures(m.Set)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "enumerate signatures: %v", err)
+		return
+	}
+	for _, sig := range sigs {
+		row := make([]string, len(sig))
+		for j, c := range sig {
+			row[j] = c.RatString()
+		}
+		out.Signatures = append(out.Signatures, row)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- verdict encoding shared by test/evaluate/stream ---
+
+type verdictJSON struct {
+	Observation string   `json:"observation"`
+	Feasible    bool     `json:"feasible"`
+	Violations  []string `json:"violations,omitempty"`
+}
+
+func verdictToJSON(v *core.Verdict) verdictJSON {
+	out := verdictJSON{Observation: v.Observation, Feasible: v.Feasible}
+	for _, k := range v.Violations {
+		out.Violations = append(out.Violations, k.String())
+	}
+	return out
+}
+
+// --- POST /v1/models/{name}/test ---
+
+func (s *Server) handleTest(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	var o counters.Observation
+	if err := json.NewDecoder(r.Body).Decode(&o); err != nil {
+		writeError(w, http.StatusBadRequest, "decode observation: %v", err)
+		return
+	}
+	if o.Len() == 0 {
+		writeError(w, http.StatusBadRequest, "observation %q has no samples", o.Label)
+		return
+	}
+	if !checkCovers(w, sess, &o) {
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.release()
+	v, err := sess.Test(r.Context(), &o)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, verdictToJSON(v))
+}
+
+// --- corpus decoding shared by evaluate and stream ---
+
+type corpusJSON struct {
+	Observations []*counters.Observation `json:"observations"`
+}
+
+// readCorpus decodes the request corpus: a JSON body {"observations":
+// [...]} or a multipart/form-data upload whose file parts are observation
+// CSVs (labelled by filename). Errors are client errors.
+func readCorpus(r *http.Request) ([]*counters.Observation, error) {
+	ct := r.Header.Get("Content-Type")
+	mt, params, err := mime.ParseMediaType(ct)
+	if err != nil && ct != "" {
+		return nil, fmt.Errorf("parse content type: %w", err)
+	}
+	if mt == "multipart/form-data" {
+		return readCorpusMultipart(multipart.NewReader(r.Body, params["boundary"]))
+	}
+	var c corpusJSON
+	if err := json.NewDecoder(r.Body).Decode(&c); err != nil {
+		return nil, fmt.Errorf("decode corpus: %w", err)
+	}
+	if len(c.Observations) == 0 {
+		return nil, fmt.Errorf("corpus has no observations")
+	}
+	for i, o := range c.Observations {
+		// A JSON null element decodes to a nil pointer without ever
+		// reaching Observation.UnmarshalJSON's validation.
+		if o == nil {
+			return nil, fmt.Errorf("observation %d is null", i)
+		}
+		if o.Len() == 0 {
+			return nil, fmt.Errorf("observation %q has no samples", o.Label)
+		}
+	}
+	return c.Observations, nil
+}
+
+func readCorpusMultipart(mr *multipart.Reader) ([]*counters.Observation, error) {
+	var corpus []*counters.Observation
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read multipart corpus: %w", err)
+		}
+		label := part.FileName()
+		if label == "" {
+			label = part.FormName()
+		}
+		o, err := counters.ReadCSV(part, label)
+		part.Close()
+		if err != nil {
+			return nil, err
+		}
+		if o.Len() == 0 {
+			return nil, fmt.Errorf("observation %q has no samples", label)
+		}
+		corpus = append(corpus, o)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("corpus has no observations")
+	}
+	return corpus, nil
+}
+
+// corpusChannel feeds a decoded corpus to EvaluateStream.
+func corpusChannel(corpus []*counters.Observation) <-chan *counters.Observation {
+	in := make(chan *counters.Observation, len(corpus))
+	for _, o := range corpus {
+		in <- o
+	}
+	close(in)
+	return in
+}
+
+// --- POST /v1/models/{name}/evaluate ---
+
+type corpusResultJSON struct {
+	Model               string         `json:"model"`
+	Total               int            `json:"total"`
+	Infeasible          int            `json:"infeasible"`
+	Feasible            bool           `json:"feasible"`
+	ViolatedConstraints map[string]int `json:"violated_constraints,omitempty"`
+	Verdicts            []verdictJSON  `json:"verdicts"`
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	corpus, err := readCorpus(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !checkCovers(w, sess, corpus...) {
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.release()
+	res, err := sess.Evaluate(r.Context(), corpus)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	out := corpusResultJSON{
+		Model:               res.Model,
+		Total:               res.Total,
+		Infeasible:          res.Infeasible,
+		Feasible:            res.Feasible(),
+		ViolatedConstraints: res.ViolatedConstraints,
+		Verdicts:            make([]verdictJSON, len(res.Verdicts)),
+	}
+	for i, v := range res.Verdicts {
+		out.Verdicts[i] = verdictToJSON(v)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// --- POST /v1/models/{name}/evaluate/stream ---
+
+// streamItemJSON is one NDJSON line: a verdict (with its position in the
+// uploaded corpus), an evaluation error, or the trailing aggregate.
+type streamItemJSON struct {
+	Index       *int     `json:"index,omitempty"`
+	Observation string   `json:"observation,omitempty"`
+	Feasible    *bool    `json:"feasible,omitempty"`
+	Violations  []string `json:"violations,omitempty"`
+	Error       string   `json:"error,omitempty"`
+
+	Done       bool `json:"done,omitempty"`
+	Total      int  `json:"total,omitempty"`
+	Infeasible int  `json:"infeasible,omitempty"`
+}
+
+func (s *Server) handleEvaluateStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	corpus, err := readCorpus(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if !checkCovers(w, sess, corpus...) {
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	defer s.release()
+
+	// The stream's context is the request context: a client disconnect
+	// cancels the engine stream, whose goroutines then exit (the leak
+	// regression tests in internal/engine pin this down). A failed write
+	// cancels explicitly for the same effect.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+
+	st := sess.EvaluateStream(ctx, corpusChannel(corpus))
+	for item := range st.C {
+		line := streamItemJSON{}
+		idx := item.Index
+		line.Index = &idx
+		if item.Err != nil {
+			line.Error = item.Err.Error()
+		} else {
+			line.Observation = item.Verdict.Observation
+			f := item.Verdict.Feasible
+			line.Feasible = &f
+			for _, k := range item.Verdict.Violations {
+				line.Violations = append(line.Violations, k.String())
+			}
+		}
+		if err := enc.Encode(line); err != nil {
+			cancel()
+			break
+		}
+		rc.Flush()
+	}
+	res, err := st.Result()
+	final := streamItemJSON{Done: true, Total: res.Total, Infeasible: res.Infeasible}
+	if err != nil {
+		final.Error = err.Error()
+	}
+	if encErr := enc.Encode(final); encErr == nil {
+		rc.Flush()
+	}
+}

@@ -38,6 +38,12 @@ type RegionBuilder struct {
 // RegionCacheLimit bounds the number of retained regions per builder.
 const RegionCacheLimit = 1 << 14
 
+// chiCacheLimit bounds the retained χ² quantiles. The key includes the
+// confidence level, which a service exposes to clients, so the cache must
+// degrade to uncached computation rather than grow with adversarial
+// distinct confidences.
+const chiCacheLimit = 1 << 12
+
 type chiKey struct {
 	confidence float64
 	df         int
@@ -72,7 +78,9 @@ func (b *RegionBuilder) ChiSquareQuantile(confidence float64, df int) (float64, 
 		return 0, err
 	}
 	b.mu.Lock()
-	b.chi[k] = q
+	if len(b.chi) < chiCacheLimit {
+		b.chi[k] = q
+	}
 	b.mu.Unlock()
 	return q, nil
 }
@@ -92,11 +100,7 @@ func (b *RegionBuilder) Region(o *counters.Observation, set *counters.Set, confi
 	if ok {
 		return r, nil
 	}
-	proj := o
-	if !o.Set.Equal(set) {
-		proj = o.Project(set)
-	}
-	r, err := newRegion(proj, confidence, mode, b.ChiSquareQuantile)
+	r, err := b.RegionUncached(o, set, confidence, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -108,6 +112,23 @@ func (b *RegionBuilder) Region(o *counters.Observation, set *counters.Set, confi
 	}
 	b.mu.Unlock()
 	return r, nil
+}
+
+// RegionUncached builds the confidence region of o projected onto set
+// without inserting it into the region cache, while still sharing the
+// memoised χ² quantiles. For request-scoped observations that will never
+// recur (a service decoding a fresh *Observation per request), caching by
+// pointer identity would pin the payload for the builder's lifetime and
+// eventually exhaust the cap for everyone else.
+func (b *RegionBuilder) RegionUncached(o *counters.Observation, set *counters.Set, confidence float64, mode NoiseMode) (*Region, error) {
+	if set == nil {
+		set = o.Set
+	}
+	proj := o
+	if !o.Set.Equal(set) {
+		proj = o.Project(set)
+	}
+	return newRegion(proj, confidence, mode, b.ChiSquareQuantile)
 }
 
 // Len reports how many distinct regions are cached (for tests and
