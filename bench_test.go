@@ -14,6 +14,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/haswell"
 	"repro/internal/pagetable"
+	"repro/internal/simplex"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -45,7 +46,10 @@ func BenchmarkCorrStats(b *testing.B) { benchExperiment(b, "corrstats") }
 
 // BenchmarkFig9aFeasibility measures single-observation feasibility
 // testing per cumulative counter group (the paper's Figure 9a, ~linear in
-// counters).
+// counters), for both tiers of the two-tier solver: "exact" drives every
+// verdict through the rational simplex, "hybrid" lets the float64
+// revised-simplex filter certify verdicts first. Each iteration rebuilds
+// the confidence region and the LP — the cold single-observation path.
 func BenchmarkFig9aFeasibility(b *testing.B) {
 	d, err := haswell.BuildDiagram("bench", haswell.DiscoveredModelFeatures())
 	if err != nil {
@@ -61,13 +65,28 @@ func BenchmarkFig9aFeasibility(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		b.Run(string(g), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if _, err := m.TestObservation(obs, core.DefaultConfidence, stats.Correlated, false); err != nil {
-					b.Fatal(err)
+		for _, tier := range []struct {
+			name   string
+			solver *core.Solver
+		}{
+			{"exact", &core.Solver{Exact: simplex.NewWorkspace()}},
+			{"hybrid", core.NewSolver(nil)},
+		} {
+			b.Run(string(g)+"/"+tier.name, func(b *testing.B) {
+				proj := obs.Project(set)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r, err := stats.NewRegion(proj, core.DefaultConfidence, stats.Correlated)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := m.TestRegionSolver(tier.solver, r, false); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -148,8 +167,13 @@ func BenchmarkPathEnumeration(b *testing.B) {
 	}
 }
 
-// BenchmarkFeasibilityLP measures one exact rational feasibility LP on the
-// full analysis counter set.
+// BenchmarkFeasibilityLP measures one feasibility LP verdict on the full
+// analysis counter set over a cached LP — the engine's steady state, where
+// RegionLP construction is amortised by the per-(model, region) cache and
+// the solve is the hot path. "exact" is the rational two-phase simplex;
+// "hybrid" is the two-tier solver (float64 revised-simplex filter + exact
+// certificate check, falling back to the exact solver when certification
+// fails). The ISSUE 3 acceptance criterion is hybrid ≥2× fewer ns/op.
 func BenchmarkFeasibilityLP(b *testing.B) {
 	set := haswell.AnalysisSet()
 	m, err := haswell.BuildModel("bench", haswell.DiscoveredModelFeatures(), set)
@@ -161,11 +185,25 @@ func BenchmarkFeasibilityLP(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.TestRegion(r, false); err != nil {
-			b.Fatal(err)
-		}
+	p := simplex.NewProblem(0)
+	if err := m.RegionLP(p, r); err != nil {
+		b.Fatal(err)
+	}
+	for _, tier := range []struct {
+		name   string
+		solver *core.Solver
+	}{
+		{"exact", &core.Solver{Exact: simplex.NewWorkspace()}},
+		{"hybrid", core.NewSolver(nil)},
+	} {
+		b.Run(tier.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.TestRegionLP(tier.solver, p, r, false); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

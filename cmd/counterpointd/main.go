@@ -18,9 +18,14 @@
 //	-confidence p      default confidence level (default 0.99)
 //	-independent       default to independent (naive) confidence regions
 //	-identify          identify violated constraints by default (default true)
+//	-exact             force the exact LP tier (disable the float filter)
 //	-max-concurrent n  cap on simultaneous evaluations (default GOMAXPROCS)
 //	-workers n         engine worker pool size (default GOMAXPROCS)
 //	-no-catalog        start with an empty model registry
+//
+// GET /stats reports the two-tier solver's telemetry (evaluations, float
+// filter hits, certification failures, exact fallbacks) accumulated across
+// all requests since boot.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener
@@ -72,6 +77,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		confidence    = fs.Float64("confidence", core.DefaultConfidence, "default confidence level")
 		independent   = fs.Bool("independent", false, "default to independent (naive) confidence regions")
 		identify      = fs.Bool("identify", true, "identify violated constraints by default (per-request ?identify= overrides)")
+		exact         = fs.Bool("exact", false, "force the exact LP tier by default, bypassing the float filter (per-request ?exact= overrides)")
 		maxConcurrent = fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "cap on simultaneous evaluations (0 = unlimited)")
 		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
@@ -97,7 +103,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	srv := server.New(server.Options{
 		Engine:        eng,
-		Defaults:      engine.Config{Confidence: *confidence, Mode: mode, IdentifyViolations: *identify},
+		Defaults:      engine.Config{Confidence: *confidence, Mode: mode, IdentifyViolations: *identify, ForceExact: *exact},
 		MaxConcurrent: *maxConcurrent,
 		Catalog:       catalog,
 	})

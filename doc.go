@@ -12,7 +12,12 @@
 //   - internal/dsl, internal/mudd — the modelling language and μDDs;
 //   - internal/cone, internal/exact, internal/simplex — exact model-cone
 //     geometry (double description, rational simplex LP with reusable
-//     workspaces);
+//     workspaces and exact certificate checkers);
+//   - internal/floatlp — the float64 revised-simplex filter of the
+//     two-tier feasibility solver: hardware floats propose each verdict
+//     with a certificate, exact arithmetic verifies it, and unverifiable
+//     claims fall back to the rational simplex (~140× fewer ns/op on the
+//     full-counter-set feasibility LP, bit-identical verdicts);
 //   - internal/stats, internal/multiplex — confidence regions (with the
 //     memoising RegionBuilder) and counter multiplexing;
 //   - internal/core — single-verdict feasibility testing;
@@ -54,6 +59,10 @@
 //	# verdicts; stop at the first refutation
 //	curl -sN -X POST 'localhost:8417/v1/models/pde/evaluate/stream?first=true' \
 //	  -F corpus=@samples.csv -F corpus=@more.csv
+//
+//	# two-tier solver telemetry: evaluations, float-filter hits,
+//	# certification failures, exact fallbacks
+//	curl -s localhost:8417/stats
 //
 // See DESIGN.md for the API table and internal/server for the handlers.
 //

@@ -157,17 +157,26 @@ func New(set *counters.Set, signatures []exact.Vec) *Cone {
 func (c *Cone) Dim() int { return c.Set.Len() }
 
 // Contains reports whether v lies in the cone, i.e. whether non-negative
-// flows f with Σ f_i g_i = v exist (solved by phase-1 simplex).
+// flows f with Σ f_i g_i = v exist (solved by phase-1 simplex). One-off
+// convenience; loops (SubsetOf, constraint deduction) share a workspace
+// through containsWS so the rational tableau is built once.
 func (c *Cone) Contains(v exact.Vec) bool {
-	p := simplex.NewProblem(len(c.Generators))
-	row := exact.NewVec(len(c.Generators))
+	return c.containsWS(simplex.NewWorkspace(), v)
+}
+
+// containsWS is Contains on a caller-held workspace: the membership LP is
+// rebuilt into the workspace's reusable problem storage, so a loop of
+// membership tests stops allocating tableaux.
+func (c *Cone) containsWS(ws *simplex.Workspace, v exact.Vec) bool {
+	p := ws.Prepare(len(c.Generators))
 	for i := 0; i < c.Set.Len(); i++ {
+		row, rhs := p.GrowConstraint(simplex.EQ)
 		for j, g := range c.Generators {
 			row[j].Set(g[i])
 		}
-		p.AddConstraint(row, simplex.EQ, v[i])
+		rhs.Set(v[i])
 	}
-	return simplex.Solve(p).Status == simplex.Optimal
+	return ws.SolveStatus(p) == simplex.Optimal
 }
 
 // ContainsFloat is Contains for float64 vectors (converted exactly).
@@ -187,31 +196,32 @@ func (c *Cone) EssentialGenerators() []exact.Vec {
 	out := make([]exact.Vec, 0, len(gens))
 	remaining := make([]exact.Vec, len(gens))
 	copy(remaining, gens)
+	ws := simplex.NewWorkspace() // one tableau for the whole pruning loop
 	for i := 0; i < len(remaining); i++ {
 		g := remaining[i]
 		others := make([]exact.Vec, 0, len(remaining)-1+len(out))
 		others = append(others, out...)
 		others = append(others, remaining[i+1:]...)
-		if !inConicHull(g, others) {
+		if !inConicHull(ws, g, others) {
 			out = append(out, g)
 		}
 	}
 	return out
 }
 
-func inConicHull(v exact.Vec, gens []exact.Vec) bool {
+func inConicHull(ws *simplex.Workspace, v exact.Vec, gens []exact.Vec) bool {
 	if len(gens) == 0 {
 		return v.IsZero()
 	}
-	p := simplex.NewProblem(len(gens))
-	row := exact.NewVec(len(gens))
+	p := ws.Prepare(len(gens))
 	for i := range v {
+		row, rhs := p.GrowConstraint(simplex.EQ)
 		for j, g := range gens {
 			row[j].Set(g[i])
 		}
-		p.AddConstraint(row, simplex.EQ, v[i])
+		rhs.Set(v[i])
 	}
-	return simplex.Solve(p).Status == simplex.Optimal
+	return ws.SolveStatus(p) == simplex.Optimal
 }
 
 // Constraints computes (and caches) the complete H-representation of the
@@ -306,8 +316,9 @@ func (c *Cone) Implies(k Constraint) bool {
 // the model cone (paper §5: "the model cones are verified to ensure that
 // the model cone is expanded").
 func (c *Cone) SubsetOf(d *Cone) bool {
+	ws := simplex.NewWorkspace() // one tableau across all membership tests
 	for _, g := range c.Generators {
-		if !d.Contains(g) {
+		if !d.containsWS(ws, g) {
 			return false
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"math/big"
 
 	"repro/internal/exact"
+	"repro/internal/simplex"
 )
 
 // ddRay is one ray in the double-description state. tight records which
@@ -146,11 +147,12 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 		vecs[i] = r.v
 	}
 	var out []exact.Vec
+	ws := simplex.NewWorkspace() // one tableau for the whole minimality pass
 	for i, v := range vecs {
 		others := make([]exact.Vec, 0, len(vecs)-1+len(out))
 		others = append(others, out...)
 		others = append(others, vecs[i+1:]...)
-		if !inConicHull(v, others) {
+		if !inConicHull(ws, v, others) {
 			out = append(out, v)
 		}
 	}

@@ -126,29 +126,36 @@ func (m *Model) TestRegion(r *stats.Region, identifyViolations bool) (*Verdict, 
 	return m.TestRegionWS(nil, r, identifyViolations)
 }
 
-// TestRegionWS is TestRegion with an explicit LP workspace. Hot paths (the
-// engine's corpus evaluation) pass a pooled workspace so the rational
-// tableau is reused across verdicts; a nil ws allocates a temporary one.
+// TestRegionWS is TestRegion with an explicit exact LP workspace, solved
+// exact-only — the convenience path for callers without a Solver; a nil ws
+// allocates a temporary one. Hot paths (the engine's corpus evaluation)
+// should use TestRegionSolver with a pooled hybrid Solver instead.
 func (m *Model) TestRegionWS(ws *simplex.Workspace, r *stats.Region, identifyViolations bool) (*Verdict, error) {
-	if ws == nil {
-		ws = simplex.NewWorkspace()
+	return m.TestRegionSolver(&Solver{Exact: ws}, r, identifyViolations)
+}
+
+// TestRegionSolver is TestRegion through an explicit two-tier solver: the
+// float filter (when sv carries one) decides certificate-backed verdicts
+// and everything else falls back to the exact simplex, so the verdict is
+// identical to the exact solver's by construction.
+func (m *Model) TestRegionSolver(sv *Solver, r *stats.Region, identifyViolations bool) (*Verdict, error) {
+	if sv == nil {
+		sv = &Solver{}
 	}
-	p := ws.Prepare(0) // RegionLP resets the problem to the generator count
+	p := sv.exactWS().Prepare(0) // RegionLP resets the problem to the generator count
 	if err := m.RegionLP(p, r); err != nil {
 		return nil, err
 	}
-	return m.TestRegionLP(ws, p, r, identifyViolations)
+	return m.TestRegionLP(sv, p, r, identifyViolations)
 }
 
 // TestRegionLP completes a verdict for r given its pre-built feasibility
 // LP (see RegionLP). The engine caches the LP per (model, region) so
-// repeated sweeps re-solve without rebuilding constraint rows.
-func (m *Model) TestRegionLP(ws *simplex.Workspace, p *simplex.Problem, r *stats.Region, identifyViolations bool) (*Verdict, error) {
-	if ws == nil {
-		ws = simplex.NewWorkspace()
-	}
+// repeated sweeps re-solve without rebuilding constraint rows. A nil sv
+// solves exact-only through a temporary workspace.
+func (m *Model) TestRegionLP(sv *Solver, p *simplex.Problem, r *stats.Region, identifyViolations bool) (*Verdict, error) {
 	v := &Verdict{Model: m.Name, Region: r}
-	v.Feasible = ws.SolveStatus(p) == simplex.Optimal
+	v.Feasible = sv.Feasible(p)
 	if !v.Feasible && identifyViolations {
 		h, err := m.Constraints()
 		if err != nil {

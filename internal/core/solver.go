@@ -1,0 +1,134 @@
+package core
+
+// The two-tier feasibility solver: a float64 revised-simplex filter
+// (internal/floatlp) in front of the exact rational simplex
+// (internal/simplex). The filter's claims are certificate-backed and
+// verified over ℚ; anything unverifiable falls back to the exact solver,
+// so the hybrid's verdicts are bit-exact by construction — the exact
+// solver remains the oracle, it just stops being the common path.
+
+import (
+	"sync/atomic"
+
+	"repro/internal/floatlp"
+	"repro/internal/simplex"
+)
+
+// SolverStats counts two-tier solver activity. All counters are atomic:
+// one SolverStats is shared by every worker of an engine. The zero value
+// is ready to use.
+type SolverStats struct {
+	evaluations      atomic.Uint64
+	filterFeasible   atomic.Uint64
+	filterInfeasible atomic.Uint64
+	certFailures     atomic.Uint64
+	exactFallbacks   atomic.Uint64
+}
+
+// SolverCounts is a point-in-time snapshot of SolverStats, shaped for JSON
+// telemetry (counterpointd's /stats endpoint).
+type SolverCounts struct {
+	// Evaluations counts feasibility LPs decided (one per verdict).
+	Evaluations uint64 `json:"evaluations"`
+	// FilterFeasible / FilterInfeasible count verdicts decided by the
+	// float tier with an exactly-verified certificate.
+	FilterFeasible   uint64 `json:"filter_feasible"`
+	FilterInfeasible uint64 `json:"filter_infeasible"`
+	// CertFailures counts float-tier claims whose certificate failed exact
+	// verification (each such evaluation also counts an exact fallback).
+	CertFailures uint64 `json:"certification_failures"`
+	// ExactFallbacks counts verdicts decided by the exact tier — because
+	// the filter was disabled, the LP was below the filter's size gate,
+	// the filter was inconclusive, or certification failed.
+	ExactFallbacks uint64 `json:"exact_fallbacks"`
+}
+
+// FilterHits is the number of evaluations the float tier settled.
+func (c SolverCounts) FilterHits() uint64 { return c.FilterFeasible + c.FilterInfeasible }
+
+// Snapshot returns current counter values.
+func (s *SolverStats) Snapshot() SolverCounts {
+	return SolverCounts{
+		Evaluations:      s.evaluations.Load(),
+		FilterFeasible:   s.filterFeasible.Load(),
+		FilterInfeasible: s.filterInfeasible.Load(),
+		CertFailures:     s.certFailures.Load(),
+		ExactFallbacks:   s.exactFallbacks.Load(),
+	}
+}
+
+// Solver bundles the exact LP workspace with the optional float filter and
+// a telemetry sink. Like its workspaces it is not safe for concurrent use;
+// pool one per worker. The zero value (or a nil *Solver) behaves as a
+// fresh exact-only solver.
+type Solver struct {
+	// Exact is the rational simplex workspace — the authoritative tier.
+	// nil allocates a fresh workspace on first use.
+	Exact *simplex.Workspace
+	// Filter is the float64 revised-simplex tier; nil forces exact mode.
+	Filter *floatlp.Workspace
+	// Stats, when non-nil, receives per-evaluation telemetry.
+	Stats *SolverStats
+}
+
+// NewSolver returns a hybrid solver with fresh workspaces reporting into
+// stats (which may be nil).
+func NewSolver(stats *SolverStats) *Solver {
+	return &Solver{Exact: simplex.NewWorkspace(), Filter: floatlp.NewWorkspace(), Stats: stats}
+}
+
+// filterMinSize gates the float tier by LP size (variables × rows). Below
+// it the exact simplex on small rationals beats the filter's convert +
+// solve + certify round trip (measured crossover: the 2-counter corpus
+// model loses ~2× at size 8, the Ret counter-group LP wins ~3× at size
+// 32), so tiny LPs go straight to the exact tier.
+const filterMinSize = 16
+
+// exact returns the exact workspace, allocating one on first use.
+func (s *Solver) exactWS() *simplex.Workspace {
+	if s.Exact == nil {
+		s.Exact = simplex.NewWorkspace()
+	}
+	return s.Exact
+}
+
+// Feasible decides whether p is feasible. The float tier runs first (when
+// present); its claim stands only if the accompanying certificate verifies
+// exactly, otherwise the exact simplex decides. The answer is therefore
+// always the exact solver's answer, usually without running it.
+func (s *Solver) Feasible(p *simplex.Problem) bool {
+	if s == nil {
+		return simplex.NewWorkspace().SolveStatus(p) == simplex.Optimal
+	}
+	if s.Stats != nil {
+		s.Stats.evaluations.Add(1)
+	}
+	if s.Filter != nil && p.NumVars*len(p.Constraints) >= filterMinSize {
+		switch out := s.Filter.Feasibility(p); out.Status {
+		case floatlp.Feasible:
+			if simplex.CertifyPoint(p, out.Point) {
+				if s.Stats != nil {
+					s.Stats.filterFeasible.Add(1)
+				}
+				return true
+			}
+			if s.Stats != nil {
+				s.Stats.certFailures.Add(1)
+			}
+		case floatlp.Infeasible:
+			if simplex.CertifyFarkas(p, out.Ray) {
+				if s.Stats != nil {
+					s.Stats.filterInfeasible.Add(1)
+				}
+				return false
+			}
+			if s.Stats != nil {
+				s.Stats.certFailures.Add(1)
+			}
+		}
+	}
+	if s.Stats != nil {
+		s.Stats.exactFallbacks.Add(1)
+	}
+	return s.exactWS().SolveStatus(p) == simplex.Optimal
+}

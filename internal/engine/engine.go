@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/floatlp"
 	"repro/internal/mudd"
 	"repro/internal/simplex"
 	"repro/internal/stats"
@@ -40,6 +41,7 @@ var ErrClosed = errors.New("engine: closed")
 type Engine struct {
 	workers int
 	regions *stats.RegionBuilder
+	solver  *core.SolverStats
 
 	tasks chan func()
 	quit  chan struct{}
@@ -82,11 +84,13 @@ type lpKey struct {
 	region *stats.Region
 }
 
-// evalScratch is the per-worker reusable state: one LP workspace. Pooled
-// rather than per-worker so Session.Test (which runs inline, off-pool) can
-// borrow one too.
+// evalScratch is the per-worker reusable state: the exact LP workspace and
+// the float-filter workspace of the two-tier solver. Pooled rather than
+// per-worker so Session.Test (which runs inline, off-pool) can borrow one
+// too.
 type evalScratch struct {
 	ws *simplex.Workspace
+	fl *floatlp.Workspace
 }
 
 // Option configures an Engine.
@@ -110,6 +114,7 @@ func New(opts ...Option) *Engine {
 	e := &Engine{
 		workers:  runtime.GOMAXPROCS(0),
 		regions:  stats.NewRegionBuilder(),
+		solver:   &core.SolverStats{},
 		quit:     make(chan struct{}),
 		models:   make(map[restrictKey]*core.Model),
 		lps:      make(map[lpKey]*simplex.Problem),
@@ -118,7 +123,9 @@ func New(opts ...Option) *Engine {
 	for _, o := range opts {
 		o(e)
 	}
-	e.scratch.New = func() any { return &evalScratch{ws: simplex.NewWorkspace()} }
+	e.scratch.New = func() any {
+		return &evalScratch{ws: simplex.NewWorkspace(), fl: floatlp.NewWorkspace()}
+	}
 	e.tasks = make(chan func())
 	e.wg.Add(e.workers)
 	for i := 0; i < e.workers; i++ {
@@ -155,6 +162,11 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Regions exposes the engine's shared region builder.
 func (e *Engine) Regions() *stats.RegionBuilder { return e.regions }
+
+// SolverStats snapshots the engine's two-tier solver telemetry: total
+// evaluations, float-filter hits by verdict, certification failures and
+// exact fallbacks. Counters accumulate across every session of the engine.
+func (e *Engine) SolverStats() core.SolverCounts { return e.solver.Snapshot() }
 
 // Close stops the worker pool and waits for in-flight tasks to finish.
 // Pending submissions fail with ErrClosed. Close is idempotent.

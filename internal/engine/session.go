@@ -31,6 +31,13 @@ type Config struct {
 	// infeasible observation is found — the early-exit mode for "is this
 	// model refuted at all?" queries (explore's pruning phase).
 	StopOnInfeasible bool
+	// ForceExact routes every verdict straight to the exact rational
+	// simplex, bypassing the float64 revised-simplex filter of the
+	// two-tier solver. Verdicts are identical either way (the filter's
+	// certificates are verified exactly and anything unverifiable falls
+	// back); the knob exists for benchmarking the tiers against each other
+	// and as an operational escape hatch.
+	ForceExact bool
 	// EphemeralObservations marks the session's observations as
 	// request-scoped data that will never be evaluated again: confidence
 	// regions and feasibility LPs are built fresh per verdict instead of
@@ -162,7 +169,11 @@ func (s *Session) test(sc *evalScratch, o *counters.Observation) (*core.Verdict,
 			return nil, err
 		}
 	}
-	v, err := s.model.TestRegionLP(sc.ws, p, r, s.cfg.IdentifyViolations)
+	sv := core.Solver{Exact: sc.ws, Filter: sc.fl, Stats: s.eng.solver}
+	if s.cfg.ForceExact {
+		sv.Filter = nil
+	}
+	v, err := s.model.TestRegionLP(&sv, p, r, s.cfg.IdentifyViolations)
 	if err != nil {
 		return nil, err
 	}

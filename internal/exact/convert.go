@@ -41,6 +41,66 @@ func Quantize(f float64, ceil bool, denom int64) (*big.Rat, error) {
 	return r, nil
 }
 
+// SimplestRatWithin returns the rational with the smallest denominator in
+// the closed interval [f−tol, f+tol] (ties broken toward the smaller
+// numerator). It is the rounding step of the two-tier solver's certificate
+// checkers: a float64 candidate produced by the revised-simplex filter is
+// snapped to the simplest nearby rational before being verified exactly, so
+// certificates whose true values are small rationals (vertex coordinates of
+// integer cones, dyadic slab bounds, sparse Farkas multipliers) are
+// recovered exactly rather than dragged through a 2⁻⁵² denominator. A tol
+// of 0 (or less) degenerates to the exact conversion. NaN and ±Inf are
+// rejected.
+func SimplestRatWithin(f, tol float64) (*big.Rat, error) {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("exact: cannot round non-finite float %v to a rational", f)
+	}
+	if tol <= 0 {
+		return RatFromFloat(f)
+	}
+	// Interval endpoints are computed in float64 and converted exactly; the
+	// float rounding can only shrink the interval, never exclude f itself,
+	// so the result is always within tol of f.
+	lo, hi := new(big.Rat), new(big.Rat)
+	if lo.SetFloat64(f-tol) == nil || hi.SetFloat64(f+tol) == nil {
+		return RatFromFloat(f)
+	}
+	return simplestInInterval(lo, hi), nil
+}
+
+// simplestInInterval returns the smallest-denominator rational in [lo, hi]
+// (lo ≤ hi), by the classic continued-fraction walk: descend the integer
+// parts shared by both endpoints, and stop as soon as an integer lies
+// between them.
+func simplestInInterval(lo, hi *big.Rat) *big.Rat {
+	if lo.Sign() <= 0 && hi.Sign() >= 0 {
+		return new(big.Rat)
+	}
+	if hi.Sign() < 0 {
+		r := simplestInInterval(new(big.Rat).Neg(hi), new(big.Rat).Neg(lo))
+		return r.Neg(r)
+	}
+	// 0 < lo ≤ hi. If an integer lies in the interval, ⌈lo⌉ is the simplest
+	// element (denominator 1, smallest magnitude). lo > 0, so truncating
+	// division is floor division.
+	floor, rem := new(big.Int).QuoRem(lo.Num(), lo.Denom(), new(big.Int))
+	ceil := new(big.Int).Set(floor)
+	if rem.Sign() != 0 {
+		ceil.Add(ceil, big.NewInt(1))
+	}
+	c := new(big.Rat).SetInt(ceil)
+	if c.Cmp(hi) <= 0 {
+		return c
+	}
+	// Same integer part a = ⌊lo⌋ = ⌊hi⌋; recurse on the reciprocal of the
+	// fractional parts: x = a + 1/y with y ∈ [1/(hi−a), 1/(lo−a)].
+	ar := new(big.Rat).SetInt(floor)
+	loF := new(big.Rat).Sub(lo, ar)
+	hiF := new(big.Rat).Sub(hi, ar)
+	y := simplestInInterval(hiF.Inv(hiF), loF.Inv(loF))
+	return ar.Add(ar, y.Inv(y))
+}
+
 // QuantizeInto sets dst to f rounded outward onto the grid of multiples of
 // 1/denom, reusing dst's storage.
 //

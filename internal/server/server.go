@@ -18,9 +18,11 @@
 //	POST /v1/models/{name}/evaluate      corpus (JSON or multipart CSV) -> aggregate
 //	POST /v1/models/{name}/evaluate/stream  corpus -> NDJSON verdict stream
 //	GET  /healthz                        liveness and cache statistics
+//	GET  /stats                          engine solver telemetry (two-tier counters)
 //
 // Evaluation endpoints accept per-request overrides as query parameters:
-// confidence, mode (correlated|independent), identify, first, batch.
+// confidence, mode (correlated|independent), identify, first, batch, exact
+// (force the exact LP tier, bypassing the float filter).
 // Streaming honours client disconnects: when the request context ends the
 // underlying engine stream is cancelled and its goroutines exit.
 package server
@@ -108,6 +110,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/models/{name}/evaluate/stream", s.handleEvaluateStream)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
 }
 
@@ -202,6 +205,7 @@ func (s *Server) requestConfig(r *http.Request) (engine.Config, error) {
 	}{
 		{"identify", &cfg.IdentifyViolations},
 		{"first", &cfg.StopOnInfeasible},
+		{"exact", &cfg.ForceExact},
 	} {
 		if v := q.Get(b.key); v != "" {
 			on, err := strconv.ParseBool(v)
@@ -289,6 +293,32 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Models:  s.reg.Len(),
 		Workers: s.eng.Workers(),
 		Regions: s.eng.Regions().Len(),
+	})
+}
+
+// --- GET /stats ---
+
+// statsJSON surfaces the engine's two-tier solver telemetry: how many
+// feasibility LPs were decided, how many the float64 filter settled with a
+// verified certificate, and how many fell back to the exact rational
+// simplex (the fallback rate is the service's honesty metric — it is
+// reported, never hidden).
+type statsJSON struct {
+	core.SolverCounts
+	FilterHits uint64 `json:"filter_hits"`
+	Models     int    `json:"models"`
+	Workers    int    `json:"workers"`
+	Regions    int    `json:"cached_regions"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	counts := s.eng.SolverStats()
+	writeJSON(w, http.StatusOK, statsJSON{
+		SolverCounts: counts,
+		FilterHits:   counts.FilterHits(),
+		Models:       s.reg.Len(),
+		Workers:      s.eng.Workers(),
+		Regions:      s.eng.Regions().Len(),
 	})
 }
 

@@ -1,0 +1,193 @@
+package simplex
+
+// Exact certificate checking for the two-tier feasibility solver.
+//
+// The float64 revised simplex in internal/floatlp is fast but inexact: its
+// verdicts are treated as *claims*, each backed by a certificate that this
+// file verifies over ℚ using rational dot products only — no pivoting, no
+// elimination. A FEASIBLE claim carries a candidate point, an INFEASIBLE
+// claim a Farkas dual ray. Certificates are rounded from float64 onto
+// nearby small rationals (exact.SimplestRatWithin) before checking, so
+// candidates whose true values are simple rationals survive verification;
+// anything that does not check out exactly is rejected, and the caller
+// falls back to the exact solver. Verdicts therefore remain bit-exact by
+// construction regardless of floating-point behaviour.
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/exact"
+)
+
+// pointRoundTol is the relative rounding tolerance applied to candidate
+// feasible points: each coordinate is snapped to the simplest rational
+// within 2⁻⁴⁰·(1+|xⱼ|). The float filter solves a tightened problem whose
+// margin dwarfs this perturbation, so rounding does not push a genuinely
+// interior point across a constraint.
+var pointRoundTol = math.Ldexp(1, -40)
+
+// farkasRoundTol is the relative rounding tolerance for Farkas multipliers
+// (after normalising the ray to unit max-magnitude). It is looser than the
+// point tolerance: the ray's exact counterpart often has small rational
+// entries (sparse combinations of few rows), and a wider interval lets the
+// continued-fraction rounding find them through the float solve's error.
+const farkasRoundTol = 1e-9
+
+// farkasSnapTol is the threshold, relative to the largest multiplier, below
+// which a ray entry is snapped to zero before rounding.
+const farkasSnapTol = 1e-9
+
+// CheckPoint reports whether x is an exact feasibility witness for p: it
+// has length p.NumVars, respects the non-negativity of every non-free
+// variable, and satisfies every constraint exactly. Rational dot products
+// only; p is not mutated.
+func CheckPoint(p *Problem, x exact.Vec) bool {
+	if len(x) != p.NumVars {
+		return false
+	}
+	for j, v := range x {
+		if (p.Free == nil || !p.Free[j]) && v.Sign() < 0 {
+			return false
+		}
+	}
+	for i := range p.Constraints {
+		con := &p.Constraints[i]
+		dot := con.Coeffs.Dot(x)
+		switch con.Rel {
+		case LE:
+			if dot.Cmp(con.RHS) > 0 {
+				return false
+			}
+		case GE:
+			if dot.Cmp(con.RHS) < 0 {
+				return false
+			}
+		case EQ:
+			if dot.Cmp(con.RHS) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CheckFarkas reports whether ray (one multiplier qᵢ per constraint) is an
+// exact Farkas certificate of p's infeasibility:
+//
+//	qᵢ ≤ 0 for ≤ rows, qᵢ ≥ 0 for ≥ rows (= rows unrestricted),
+//	d := Σᵢ qᵢ·aᵢ has dⱼ ≤ 0 for every non-free variable and dⱼ = 0
+//	for every free variable, and Σᵢ qᵢ·bᵢ > 0.
+//
+// Multiplying each constraint by its qᵢ and summing shows d·x ≥ Σ qᵢbᵢ > 0
+// for any x in p's feasible set, while the sign conditions force d·x ≤ 0 —
+// a contradiction, so no feasible x exists. Rational dot products only.
+func CheckFarkas(p *Problem, ray exact.Vec) bool {
+	if len(ray) != len(p.Constraints) || len(ray) == 0 {
+		return false
+	}
+	for i := range p.Constraints {
+		s := ray[i].Sign()
+		switch p.Constraints[i].Rel {
+		case LE:
+			if s > 0 {
+				return false
+			}
+		case GE:
+			if s < 0 {
+				return false
+			}
+		}
+	}
+	d := exact.NewVec(p.NumVars)
+	rhs := new(big.Rat)
+	t := new(big.Rat)
+	for i := range p.Constraints {
+		if ray[i].Sign() == 0 {
+			continue
+		}
+		con := &p.Constraints[i]
+		d.AddScaled(ray[i], con.Coeffs)
+		t.Mul(ray[i], con.RHS)
+		rhs.Add(rhs, t)
+	}
+	if rhs.Sign() <= 0 {
+		return false
+	}
+	for j, v := range d {
+		if p.Free != nil && p.Free[j] {
+			if v.Sign() != 0 {
+				return false
+			}
+		} else if v.Sign() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CertifyPoint rounds a float64 candidate point onto nearby rationals and
+// checks it exactly against p. It returns ok=false (never a wrong verdict)
+// when the rounded point fails any constraint — the caller's cue to fall
+// back to the exact solver.
+func CertifyPoint(p *Problem, x []float64) bool {
+	if len(x) != p.NumVars {
+		return false
+	}
+	rx := make(exact.Vec, len(x))
+	for j, v := range x {
+		if v < 0 && (p.Free == nil || !p.Free[j]) {
+			// Float vertices sit on x ≥ 0 bounds up to round-off; a tiny
+			// negative is the solver's zero.
+			v = 0
+		}
+		r, err := exact.SimplestRatWithin(v, pointRoundTol*(1+math.Abs(v)))
+		if err != nil {
+			return false
+		}
+		rx[j] = r
+	}
+	return CheckPoint(p, rx)
+}
+
+// CertifyFarkas normalises and rounds a float64 Farkas ray, then checks it
+// exactly against p. Entries tiny relative to the largest multiplier, or
+// carrying the wrong sign for their row, are snapped to zero first (both
+// are float noise; zero multipliers are always sign-admissible).
+func CertifyFarkas(p *Problem, ray []float64) bool {
+	if len(ray) != len(p.Constraints) {
+		return false
+	}
+	scale := 0.0
+	for _, q := range ray {
+		if a := math.Abs(q); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return false
+	}
+	rq := make(exact.Vec, len(ray))
+	for i, q := range ray {
+		q /= scale
+		if math.Abs(q) < farkasSnapTol {
+			q = 0
+		}
+		switch p.Constraints[i].Rel {
+		case LE:
+			if q > 0 {
+				q = 0
+			}
+		case GE:
+			if q < 0 {
+				q = 0
+			}
+		}
+		r, err := exact.SimplestRatWithin(q, farkasRoundTol*(1+math.Abs(q)))
+		if err != nil {
+			return false
+		}
+		rq[i] = r
+	}
+	return CheckFarkas(p, rq)
+}

@@ -242,9 +242,12 @@ func (w *Workspace) vec(n int) exact.Vec {
 
 type varMap struct{ pos, neg int }
 
-// Solve solves the problem. A nil objective is treated as the zero
-// objective (feasibility only). The returned Result does not alias
-// workspace storage and stays valid across subsequent Solve calls.
+// Solve solves the problem through a freshly allocated Workspace — the
+// convenience path for one-off solves only. A nil objective is treated as
+// the zero objective (feasibility only). Callers that solve in a loop
+// should hold a Workspace (or pool one per worker) and go through its
+// Solve/SolveStatus, which reuse the rational tableau and problem storage
+// across calls instead of re-allocating them per LP.
 func Solve(p *Problem) Result {
 	return NewWorkspace().Solve(p)
 }

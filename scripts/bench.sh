@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Records the performance baseline the trajectory tracks: runs the key
+# feasibility/solver benchmarks with -benchmem and writes both the raw
+# harness output (BENCH_results.txt) and a parsed JSON form
+# (BENCH_results.json) at the repository root.
+#
+# Usage:
+#   scripts/bench.sh                 # default benchmark set, -count=1
+#   BENCH='FeasibilityLP' scripts/bench.sh
+#   COUNT=5 scripts/bench.sh         # repeat for variance estimation
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility|SolveWorkspace|SolveFresh|CorpusSession|CorpusPerCall}"
+COUNT="${COUNT:-1}"
+TXT=BENCH_results.txt
+JSON=BENCH_results.json
+
+{
+  echo "# go test -run=NONE -bench '${BENCH}' -benchmem -count=${COUNT}"
+  echo "# recorded $(date -u +%Y-%m-%dT%H:%M:%SZ) at $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  go test -run=NONE -bench "${BENCH}" -benchmem -count="${COUNT}" -timeout 60m . ./internal/...
+} | tee "${TXT}"
+
+# Parse "BenchmarkName-P  N  ns/op  B/op  allocs/op" lines into JSON.
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+  if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+  if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+  line = line "}"
+  results[n++] = line
+}
+END {
+  printf "{\n  \"recorded\": \"%s\",\n  \"benchmarks\": [\n", date
+  for (i = 0; i < n; i++) printf "  %s%s\n", results[i], (i < n-1 ? "," : "")
+  print "  ]\n}"
+}' "${TXT}" > "${JSON}"
+
+echo "wrote ${TXT} and ${JSON}"
