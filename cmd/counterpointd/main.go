@@ -8,6 +8,12 @@
 // more. One engine serves every request, so confidence-region, LP and
 // session caches stay warm across the whole traffic stream.
 //
+// Alongside synchronous verdicts the daemon runs asynchronous exploration
+// jobs — the paper's §5 / Appendix C guided discovery/elimination search —
+// behind POST /v1/explore and the /v1/jobs endpoints: bounded concurrent
+// jobs, NDJSON progress streams, cancellation, and resume-from-checkpoint.
+// See docs/API.md for the endpoint reference.
+//
 // Usage:
 //
 //	counterpointd [flags]
@@ -21,6 +27,9 @@
 //	-exact             force the exact LP tier (disable the float filter)
 //	-max-concurrent n  cap on simultaneous evaluations (default GOMAXPROCS)
 //	-workers n         engine worker pool size (default GOMAXPROCS)
+//	-max-jobs n        cap on concurrently running exploration jobs (default 2)
+//	-job-history n     ring of finished jobs kept queryable (default 64)
+//	-job-ttl d         how long finished jobs stay queryable (default 1h)
 //	-no-catalog        start with an empty model registry
 //
 // GET /stats reports the two-tier solver's telemetry (evaluations, float
@@ -29,7 +38,9 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener
-// is torn down and the engine closed.
+// is torn down; then running exploration jobs are cancelled (their
+// checkpoints are lost with the process — exploration state is in-memory)
+// and the engine closed.
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/haswell"
+	"repro/internal/jobs"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
@@ -80,6 +92,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		exact         = fs.Bool("exact", false, "force the exact LP tier by default, bypassing the float filter (per-request ?exact= overrides)")
 		maxConcurrent = fs.Int("max-concurrent", runtime.GOMAXPROCS(0), "cap on simultaneous evaluations (0 = unlimited)")
 		workers       = fs.Int("workers", runtime.GOMAXPROCS(0), "engine worker pool size")
+		maxJobs       = fs.Int("max-jobs", jobs.DefaultMaxConcurrent, "cap on concurrently running exploration jobs")
+		jobHistory    = fs.Int("job-history", jobs.DefaultMaxRetained, "how many finished exploration jobs stay queryable")
+		jobTTL        = fs.Duration("job-ttl", jobs.DefaultRetainFor, "how long finished exploration jobs stay queryable")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,11 +116,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			catalog = append(catalog, server.Model{Name: cm.Name, Source: cm.Source})
 		}
 	}
+	jm := jobs.NewManager(jobs.Options{
+		MaxConcurrent: *maxJobs,
+		MaxRetained:   *jobHistory,
+		RetainFor:     *jobTTL,
+	})
+	defer jm.Close()
 	srv := server.New(server.Options{
 		Engine:        eng,
 		Defaults:      engine.Config{Confidence: *confidence, Mode: mode, IdentifyViolations: *identify, ForceExact: *exact},
 		MaxConcurrent: *maxConcurrent,
 		Catalog:       catalog,
+		Jobs:          jm,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

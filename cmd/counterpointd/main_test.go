@@ -93,6 +93,63 @@ func TestServeAndShutdown(t *testing.T) {
 	}
 	resp.Body.Close()
 
+	// The exploration jobs API is wired up: an empty listing at boot, and
+	// a template submission is accepted and eventually terminal.
+	resp, err = http.Get(base + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jl struct {
+		Jobs []json.RawMessage `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(jl.Jobs) != 0 {
+		t.Fatalf("jobs at boot: %d", len(jl.Jobs))
+	}
+	submit := `{"source":"incr load.causes_walk;\n#if extra\nswitch S { Yes => incr load.causes_walk; No => pass; };\n#endif\ndone;",` +
+		`"observations":[{"label":"r","events":["load.causes_walk"],"samples":[[10],[11],[10],[12],[11]]}]}`
+	resp, err = http.Post(base+"/v1/explore", "application/json", strings.NewReader(submit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("explore submit status %d", resp.StatusCode)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		resp, err = http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" {
+			t.Fatalf("exploration job ended %q", st.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for exploration job (state %q)", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
 	cancel()
 	select {
 	case err := <-done:

@@ -18,23 +18,38 @@
 //     with a certificate, exact arithmetic verifies it, and unverifiable
 //     claims fall back to the rational simplex (~140× fewer ns/op on the
 //     full-counter-set feasibility LP, bit-identical verdicts);
+//   - internal/counters — event names, counter groups, ordered counter
+//     sets, observations, CSV/JSON I/O;
 //   - internal/stats, internal/multiplex — confidence regions (with the
 //     memoising RegionBuilder) and counter multiplexing;
-//   - internal/core — single-verdict feasibility testing;
+//   - internal/core — single-verdict feasibility testing and the two-tier
+//     Solver;
 //   - internal/engine — the batched feasibility engine: long-lived
 //     Engine/Session pipeline with a bounded worker pool, region/LP
 //     caching, and streaming corpus evaluation;
-//   - internal/explore — guided model exploration over engine sessions;
-//   - internal/server — the HTTP/JSON feasibility service over the engine;
+//   - internal/explore — guided model exploration (§5, Appendix C):
+//     frontier-parallel yet bit-identical to the sequential search,
+//     progress events, checkpoint/restore, and the #if/#endif DSL
+//     template builder;
+//   - internal/jobs — the asynchronous job manager running exploration
+//     searches: bounded concurrency, event-log replay, retained results
+//     with TTL, cancel and resume-from-checkpoint;
+//   - internal/server — the HTTP/JSON feasibility service over the engine
+//     and the jobs API over the manager;
 //   - internal/haswell, internal/pagetable, internal/memsim,
 //     internal/workloads — the simulated Haswell MMU substrate that stands
 //     in for the paper's silicon;
+//   - internal/dcache, internal/errata, internal/perfdb — the §9
+//     extension component, counter errata modelling, and the Figure 1a
+//     HEC census;
 //   - internal/experiments — regenerates every table and figure;
 //   - cmd/counterpoint, cmd/counterpointd, cmd/hswsim, cmd/experiments —
 //     the executables;
 //   - examples/ — runnable walkthroughs of the public API (see
-//     examples/engine for the batched/streaming evaluation API and
-//     examples/service for the HTTP API).
+//     examples/engine for the batched/streaming evaluation API,
+//     examples/service for the HTTP API, and examples/explore-service
+//     for exploration jobs); the headline walkthroughs are also
+//     executable godoc examples in examples_test.go.
 //
 // # Service quickstart
 //
@@ -64,7 +79,21 @@
 //	# certification failures, exact fallbacks
 //	curl -s localhost:8417/stats
 //
-// See DESIGN.md for the API table and internal/server for the handlers.
+// Guided exploration runs as asynchronous jobs: submit a
+// feature-conditional DSL template (lines between "#if feature" and
+// "#endif" belong to that candidate feature) with a corpus, then follow
+// the search:
+//
+//	curl -s -X POST localhost:8417/v1/explore -d @exploration.json
+//	curl -s localhost:8417/v1/jobs
+//	curl -sN localhost:8417/v1/jobs/j000001/events   # NDJSON progress
+//	curl -s localhost:8417/v1/jobs/j000001           # result + search graph
+//	curl -s -X DELETE localhost:8417/v1/jobs/j000001 # cancel
+//	curl -s -X POST localhost:8417/v1/jobs/j000001/resume
+//
+// See README.md for the tour, docs/API.md for the complete endpoint
+// reference, DESIGN.md for the design notes, and internal/server for the
+// handlers.
 //
 // The benchmarks in bench_test.go regenerate each experiment (Figures 1a–9b
 // and Tables 1–7) under the Go benchmark harness, and

@@ -1,0 +1,251 @@
+// Explore-service walkthrough: guided model exploration as an
+// asynchronous HTTP job.
+//
+// The mmu-exploration example runs the paper's §5 / Appendix C search
+// through the Go API; this one drives the same search over the wire, the
+// way a client without a Go toolchain would use a long-running
+// counterpointd:
+//
+//  1. start an in-process server (identical to cmd/counterpointd),
+//  2. submit an exploration job: a feature-conditional DSL template
+//     (#if feature ... #endif) plus a measurement corpus,
+//  3. stream its NDJSON progress events — every node evaluated, the
+//     feature the discovery phase adopts, the subtrees elimination prunes,
+//  4. fetch the final result: the converged model, the minimal feasible
+//     models, and the Figure 7-style required/optional classification,
+//  5. demonstrate cancel + resume: a second copy of the job is cancelled
+//     mid-search and resumed from its checkpoint.
+//
+// Run with: go run ./examples/explore-service
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/jobs"
+	"repro/internal/server"
+)
+
+// template is the Figure 6 feature space as the HTTP API takes it: plain
+// CounterPoint DSL in which #if guards mark the candidate features. The
+// corpus below exhibits the pde$_miss > causes_walk anomaly that only the
+// "abort" feature explains; "doublewalk" is a red herring the elimination
+// phase must prune.
+const template = `
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => {
+        incr load.pde$_miss;
+#if abort
+        switch Abort { Yes => done; No => pass; };
+#endif
+    };
+};
+incr load.causes_walk;
+#if doublewalk
+switch Double { Yes => incr load.causes_walk; No => pass; };
+#endif
+done;
+`
+
+func main() {
+	// 1. The service: one engine, one jobs manager. In production this is
+	// `counterpointd -addr :8417 -max-jobs 2`; here it lives in-process.
+	eng := engine.New()
+	defer eng.Close()
+	jm := jobs.NewManager(jobs.Options{MaxConcurrent: 1})
+	defer jm.Close()
+	ts := httptest.NewServer(server.New(server.Options{Engine: eng, Jobs: jm}))
+	defer ts.Close()
+
+	// 2. Submit the exploration job.
+	set := counters.NewSet("load.causes_walk", "load.pde$_miss")
+	payload, _ := json.Marshal(map[string]any{
+		"source": template,
+		"observations": []*counters.Observation{
+			synth("benign", set, 500, 300, 1),
+			synth("anomalous", set, 200, 500, 2), // pde$_miss > causes_walk
+		},
+	})
+	var sub struct {
+		ID         string   `json:"id"`
+		State      string   `json:"state"`
+		Candidates []string `json:"candidates"`
+	}
+	postJSON(ts.URL+"/v1/explore", payload, &sub)
+	fmt.Printf("submitted job %s over candidate features %v\n", sub.ID, sub.Candidates)
+
+	// 3. Stream progress: NDJSON, full history replayed, closed after the
+	// terminal event. (A disconnected watcher never cancels the job.)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var ev struct {
+			Kind string `json:"kind"`
+			Data struct {
+				Node *struct {
+					Key        string `json:"key"`
+					Feasible   bool   `json:"feasible"`
+					Infeasible int    `json:"infeasible"`
+					Total      int    `json:"total"`
+				} `json:"node"`
+				Feature string `json:"feature"`
+			} `json:"data"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			log.Fatal(err)
+		}
+		switch ev.Kind {
+		case "node-evaluated":
+			verdict := "FEASIBLE"
+			if !ev.Data.Node.Feasible {
+				verdict = fmt.Sprintf("infeasible (%d/%d)", ev.Data.Node.Infeasible, ev.Data.Node.Total)
+			}
+			fmt.Printf("  evaluated {%s}: %s\n", ev.Data.Node.Key, verdict)
+		case "feature-adopted":
+			fmt.Printf("  discovery adopts %q\n", ev.Data.Feature)
+		case "subtree-pruned":
+			fmt.Printf("  elimination prunes removal of %q\n", ev.Data.Feature)
+		case "minimal-model":
+			fmt.Printf("  minimal feasible model {%s}\n", ev.Data.Node.Key)
+		default:
+			fmt.Printf("  [%s]\n", ev.Kind)
+		}
+	}
+	resp.Body.Close()
+
+	// 4. The result: final model, minimal models, classification.
+	var st struct {
+		State  string `json:"state"`
+		Result struct {
+			Final struct {
+				Key string `json:"key"`
+			} `json:"final"`
+			Minimal  []struct{ Key string } `json:"minimal"`
+			Required []string               `json:"required"`
+			Optional []string               `json:"optional"`
+		} `json:"result"`
+	}
+	getJSON(ts.URL+"/v1/jobs/"+sub.ID, &st)
+	fmt.Printf("job %s: converged on {%s}\n", st.State, st.Result.Final.Key)
+	fmt.Printf("features required by the data:    %v\n", st.Result.Required)
+	fmt.Printf("features the data cannot resolve: %v\n", st.Result.Optional)
+
+	// 5. Cancel + resume: the same search again, cancelled before it
+	// converges, then resumed from its checkpoint. The resumed job
+	// restores whatever graph the original committed and converges on the
+	// identical model (the parallel search is deterministic, so an
+	// interrupted-and-resumed run reproduces an uninterrupted one bit for
+	// bit). To make the cancellation land deterministically in this
+	// walkthrough, a stand-in job occupies the daemon's single slot so
+	// our submission waits in the queue — the state a busy daemon is
+	// routinely in.
+	release := make(chan struct{})
+	if _, err := jm.Submit("stand-in", func(ctx context.Context, job *jobs.Job) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	}); err != nil {
+		log.Fatal(err)
+	}
+	var sub2 struct {
+		ID string `json:"id"`
+	}
+	postJSON(ts.URL+"/v1/explore", payload, &sub2)
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+sub2.ID, nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		log.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+	waitTerminal(ts.URL, sub2.ID)
+	close(release) // the stand-in finishes; the queue drains
+	var resumed struct {
+		ID          string `json:"id"`
+		ResumedFrom string `json:"resumed_from"`
+	}
+	postJSON(ts.URL+"/v1/jobs/"+sub2.ID+"/resume", nil, &resumed)
+	fmt.Printf("job %s cancelled; resumed as %s (from checkpoint of %s)\n", sub2.ID, resumed.ID, resumed.ResumedFrom)
+	waitTerminal(ts.URL, resumed.ID)
+	var st2 struct {
+		State  string `json:"state"`
+		Result struct {
+			Final struct {
+				Key string `json:"key"`
+			} `json:"final"`
+		} `json:"result"`
+	}
+	getJSON(ts.URL+"/v1/jobs/"+resumed.ID, &st2)
+	fmt.Printf("resumed job %s: converged on {%s} again\n", st2.State, st2.Result.Final.Key)
+}
+
+func synth(label string, set *counters.Set, cw, pm float64, seed int64) *counters.Observation {
+	o := counters.NewObservation(label, set)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < 200; i++ {
+		o.Append([]float64{cw + rng.NormFloat64(), pm + rng.NormFloat64()})
+	}
+	return o
+}
+
+func postJSON(url string, body []byte, dst any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, e.Error)
+	}
+	if dst != nil {
+		if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func getJSON(url string, dst any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(dst); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func waitTerminal(base, id string) {
+	for {
+		var st struct {
+			State string `json:"state"`
+		}
+		getJSON(base+"/v1/jobs/"+id, &st)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -30,21 +30,10 @@ func main() {
 	}
 	fmt.Printf("%d observations\n\n", len(corpus))
 
-	universe := []string{"tlb-pf", "early-psc", "merging", "pml4e", "bypass"}
+	universe := haswell.SearchUniverse()
 	set := haswell.AnalysisSet()
 	builder := func(fs explore.FeatureSet) (*core.Model, error) {
-		f := haswell.ModelFeatures{
-			TLBPrefetch: fs["tlb-pf"],
-			EarlyPSC:    fs["early-psc"],
-			Merging:     fs["merging"],
-			PML4ECache:  fs["pml4e"],
-			WalkBypass:  fs["bypass"],
-		}
-		if f.TLBPrefetch {
-			f.PfSpec = true
-			f.PfLoads = true
-			f.PfTrigger = haswell.TriggerLSQ
-		}
+		f := haswell.SearchFeatures(func(name string) bool { return fs[name] })
 		return haswell.BuildModel("search:"+fs.Key(), f, set)
 	}
 

@@ -194,45 +194,27 @@ func runTable7(w io.Writer, opts Options) error {
 	return modelTable(w, opts, haswell.Table7Models())
 }
 
-// haswellFeatureUniverse names the Table 3 feature axes for the explore
-// search.
-var haswellFeatureUniverse = []string{"tlb-pf", "early-psc", "merging", "pml4e", "bypass"}
-
-func featuresFromSet(fs explore.FeatureSet) haswell.ModelFeatures {
-	f := haswell.ModelFeatures{
-		TLBPrefetch: fs["tlb-pf"],
-		EarlyPSC:    fs["early-psc"],
-		Merging:     fs["merging"],
-		PML4ECache:  fs["pml4e"],
-		WalkBypass:  fs["bypass"],
-	}
-	if f.TLBPrefetch {
-		f.PfSpec = true
-		f.PfLoads = true
-		f.PfTrigger = haswell.TriggerLSQ
-	}
-	return f
-}
-
 // runFig10 runs the automated discovery/elimination search over the
-// Table 3 feature space and prints the search graph plus the Figure 7
-// classification.
+// Table 3 feature space (haswell.SearchUniverse) and prints the search
+// graph plus the Figure 7 classification. The frontier-parallel search is
+// bit-identical to the sequential one, so the report is stable.
 func runFig10(w io.Writer, opts Options) error {
 	obs, err := corpus(opts)
 	if err != nil {
 		return err
 	}
+	universe := haswell.SearchUniverse()
 	set := haswell.AnalysisSet()
 	builder := func(fs explore.FeatureSet) (*core.Model, error) {
-		return haswell.BuildModel("search:"+fs.Key(), featuresFromSet(fs), set)
+		return haswell.BuildModel("search:"+fs.Key(), haswell.SearchFeatures(func(f string) bool { return fs[f] }), set)
 	}
 	s := explore.NewSearch(builder, obs)
-	final, err := s.Discover(explore.NewFeatureSet(), haswellFeatureUniverse)
+	final, err := s.Discover(explore.NewFeatureSet(), universe)
 	if err != nil {
 		return err
 	}
 	if final.Feasible() {
-		if _, err := s.Eliminate(final, haswellFeatureUniverse); err != nil {
+		if _, err := s.Eliminate(final, universe); err != nil {
 			return err
 		}
 		// The paper's m4-vs-m8 ambiguity: adding the PML4E cache to the
@@ -245,7 +227,7 @@ func runFig10(w io.Writer, opts Options) error {
 		}
 	}
 	fmt.Fprint(w, s.GraphReport())
-	c := s.Classify(haswellFeatureUniverse)
+	c := s.Classify(universe)
 	fmt.Fprintf(w, "required features (in every feasible model): %v\n", c.Required)
 	fmt.Fprintf(w, "optional features (data cannot resolve):     %v\n", c.Optional)
 	return nil

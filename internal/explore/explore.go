@@ -10,6 +10,28 @@
 // observations; in the elimination phase it recursively prunes features
 // from a feasible model, abandoning a subtree as soon as pruning yields an
 // infeasible model (the paper's empirical pruning rule).
+//
+// # Parallel frontiers
+//
+// Both phases evaluate one frontier of candidate feature sets at a time —
+// every unexplored single-feature extension of the current model in
+// discovery, every single-feature removal of a node in elimination. The
+// frontier is evaluated concurrently (Search.Workers goroutines, each
+// driving an engine session whose observation batches run on the
+// engine's bounded worker pool), but results are committed to the search
+// graph in the sequential reference order: parallel runs reproduce the
+// sequential search — node order, adopted features, final model,
+// classification, GraphReport — bit for bit. Workers = 1 selects the
+// sequential reference search itself.
+//
+// # Progress events
+//
+// A Search with a non-nil Events channel reports structured progress —
+// every node evaluated, every feature the discovery phase adopts, every
+// subtree the elimination phase prunes, every minimal model found — as the
+// search runs, instead of only a final GraphReport. internal/jobs consumes
+// these events to stream long-running exploration over HTTP and to
+// checkpoint the search graph (see Restore).
 package explore
 
 import (
@@ -17,6 +39,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/counters"
@@ -81,7 +104,9 @@ func (fs FeatureSet) String() string {
 	return "{" + strings.Join(fs.Names(), ", ") + "}"
 }
 
-// Builder constructs a model for a feature combination.
+// Builder constructs a model for a feature combination. Builders must be
+// safe for concurrent calls with distinct feature sets: parallel frontier
+// evaluation invokes one per candidate at a time.
 type Builder func(fs FeatureSet) (*core.Model, error)
 
 // Op records how a search node was derived (Figure 10's edge kinds).
@@ -97,25 +122,58 @@ const (
 
 // Node is one evaluated model in the search graph.
 type Node struct {
-	Features   FeatureSet
-	Infeasible int
-	Total      int
+	Features   FeatureSet `json:"features"`
+	Infeasible int        `json:"infeasible"`
+	Total      int        `json:"total"`
 	// Violated aggregates violated-constraint counts across the corpus
 	// (filled only when the search runs with violation identification).
-	Violated map[string]int
+	Violated map[string]int `json:"violated,omitempty"`
 	// DerivedFrom is the key of the parent node ("" for the initial node).
-	DerivedFrom string
-	Op          Op
+	DerivedFrom string `json:"derived_from,omitempty"`
+	Op          Op     `json:"op"`
 }
 
 // Feasible reports whether every observation was feasible.
 func (n *Node) Feasible() bool { return n.Infeasible == 0 }
 
+// EventKind names a progress event.
+type EventKind string
+
+// Progress event kinds.
+const (
+	// EventNodeEvaluated fires when a node is committed to the search
+	// graph, in commit (= sequential evaluation) order.
+	EventNodeEvaluated EventKind = "node-evaluated"
+	// EventFeatureAdopted fires when the discovery phase adopts the best
+	// candidate of a frontier; Feature names it, Node is the new model.
+	EventFeatureAdopted EventKind = "feature-adopted"
+	// EventSubtreePruned fires when the elimination phase abandons a
+	// subtree because removing Feature produced the infeasible Node.
+	EventSubtreePruned EventKind = "subtree-pruned"
+	// EventMinimalModel fires when a node with no feasible children is
+	// recorded as a minimal feasible model.
+	EventMinimalModel EventKind = "minimal-model"
+)
+
+// Event is one structured progress report from a running search.
+type Event struct {
+	Kind EventKind
+	// Node is the node the event concerns (evaluated, adopted, pruned-to,
+	// or minimal).
+	Node *Node
+	// Feature is the feature added (EventFeatureAdopted) or removed
+	// (EventSubtreePruned).
+	Feature string
+	// Step is the discovery step for EventFeatureAdopted.
+	Step int
+}
+
 // Search runs guided exploration over a corpus. Corpus evaluation runs
-// through an engine.Session per candidate model, so the expensive
-// per-observation spectral work is shared across the entire search: every
-// node tests the same corpus, and the engine's region cache makes node
-// evaluation cost one LP per observation instead of a full region rebuild.
+// through an engine session per candidate model on a shared engine, so
+// the expensive per-observation spectral work is amortised across the
+// entire search: every node tests the same corpus, and the engine's
+// region cache makes node evaluation cost one LP per observation instead
+// of a full region rebuild.
 type Search struct {
 	Builder    Builder
 	Corpus     []*counters.Observation
@@ -124,6 +182,9 @@ type Search struct {
 	// IdentifyViolations controls whether constraint deduction runs for
 	// infeasible nodes (slower but mirrors the paper's expert feedback).
 	IdentifyViolations bool
+	// ForceExact routes every verdict to the exact LP tier, bypassing the
+	// float filter (engine.Config.ForceExact).
+	ForceExact bool
 	// MaxDiscoverySteps bounds the discovery phase.
 	MaxDiscoverySteps int
 	// Engine hosts the evaluation sessions; nil means engine.Default().
@@ -131,9 +192,19 @@ type Search struct {
 	// Ctx cancels an in-flight search between (and inside) node
 	// evaluations; nil means context.Background().
 	Ctx context.Context
+	// Workers bounds how many frontier candidates are evaluated
+	// concurrently. 0 means the engine's worker count; 1 selects the
+	// sequential reference search. Every setting commits nodes in the
+	// sequential order, so results are bit-identical.
+	Workers int
+	// Events, when non-nil, receives structured progress events. The
+	// consumer must keep receiving (or cancel Ctx): sends block, and an
+	// event that cannot be delivered before Ctx ends is dropped.
+	Events chan<- Event
 
-	nodes map[string]*Node
-	order []*Node
+	nodes  map[string]*Node
+	order  []*Node
+	staged map[string]*Node
 }
 
 // NewSearch builds a search with the paper's defaults.
@@ -145,14 +216,41 @@ func NewSearch(b Builder, corpus []*counters.Observation) *Search {
 		Mode:              stats.Correlated,
 		MaxDiscoverySteps: 16,
 		nodes:             map[string]*Node{},
+		staged:            map[string]*Node{},
 	}
 }
 
-// Nodes returns every evaluated node in evaluation order.
+// Nodes returns every evaluated node in evaluation order. The slice is the
+// search graph: it snapshots cleanly mid-search (between frontier commits)
+// and round-trips through Restore, which is how internal/jobs checkpoints
+// and resumes a search.
 func (s *Search) Nodes() []*Node {
 	out := make([]*Node, len(s.order))
 	copy(out, s.order)
 	return out
+}
+
+// Restore preloads previously evaluated nodes — typically a checkpoint
+// taken with Nodes — so a re-run search returns them without
+// re-evaluation. Nodes must be supplied in their original evaluation order
+// for the re-run to reproduce the original search bit-for-bit. Keys
+// already present are left untouched, and no events are emitted for
+// restored nodes.
+func (s *Search) Restore(nodes []*Node) {
+	if s.nodes == nil {
+		s.nodes = map[string]*Node{}
+	}
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		key := n.Features.Key()
+		if _, ok := s.nodes[key]; ok {
+			continue
+		}
+		s.nodes[key] = n
+		s.order = append(s.order, n)
+	}
 }
 
 func (s *Search) engine() *engine.Engine {
@@ -169,12 +267,35 @@ func (s *Search) ctx() context.Context {
 	return context.Background()
 }
 
-// Evaluate tests one feature combination (memoised).
-func (s *Search) Evaluate(fs FeatureSet, parent string, op Op) (*Node, error) {
-	key := fs.Key()
-	if n, ok := s.nodes[key]; ok {
-		return n, nil
+func (s *Search) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
 	}
+	return s.engine().Workers()
+}
+
+// emit delivers a progress event, dropping it if the search context ends
+// before the consumer takes it.
+func (s *Search) emit(ev Event) {
+	if s.Events == nil {
+		return
+	}
+	select {
+	case s.Events <- ev:
+	case <-s.ctx().Done():
+	}
+}
+
+// build evaluates one feature combination without committing it to the
+// search graph. Safe for concurrent use: all mutable search state is
+// untouched. The session is created fresh rather than via
+// engine.SessionFor: the search memoises each feature set and the Builder
+// returns a fresh model pointer per call, so the pointer-keyed session
+// cache could never produce a hit — it would only accumulate one dead
+// entry per node in a shared engine. Sessions are stateless and cheap;
+// the sharing that matters (worker pool, region/LP caches, workspace
+// pools) is engine-level and fully in effect.
+func (s *Search) build(ctx context.Context, fs FeatureSet) (*Node, error) {
 	m, err := s.Builder(fs)
 	if err != nil {
 		return nil, fmt.Errorf("explore: build %s: %w", fs, err)
@@ -183,40 +304,158 @@ func (s *Search) Evaluate(fs FeatureSet, parent string, op Op) (*Node, error) {
 		Confidence:         s.Confidence,
 		Mode:               s.Mode,
 		IdentifyViolations: s.IdentifyViolations,
+		ForceExact:         s.ForceExact,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("explore: session %s: %w", fs, err)
 	}
-	res, err := sess.Evaluate(s.ctx(), s.Corpus)
+	res, err := sess.Evaluate(ctx, s.Corpus)
 	if err != nil {
 		return nil, fmt.Errorf("explore: evaluate %s: %w", fs, err)
 	}
-	n := &Node{
-		Features:    fs.Clone(),
-		Infeasible:  res.Infeasible,
-		Total:       res.Total,
-		Violated:    res.ViolatedConstraints,
-		DerivedFrom: parent,
-		Op:          op,
+	return &Node{
+		Features:   fs.Clone(),
+		Infeasible: res.Infeasible,
+		Total:      res.Total,
+		Violated:   res.ViolatedConstraints,
+	}, nil
+}
+
+// Evaluate tests one feature combination (memoised) and commits it to the
+// search graph. A result staged by a frontier prefetch is adopted instead
+// of re-evaluated; either way the node's derivation edge records this
+// call's parent and op.
+func (s *Search) Evaluate(fs FeatureSet, parent string, op Op) (*Node, error) {
+	if s.nodes == nil {
+		s.nodes = map[string]*Node{}
 	}
+	key := fs.Key()
+	if n, ok := s.nodes[key]; ok {
+		return n, nil
+	}
+	n, ok := s.staged[key]
+	if ok {
+		delete(s.staged, key)
+	} else {
+		var err error
+		if n, err = s.build(s.ctx(), fs); err != nil {
+			return nil, err
+		}
+	}
+	n.DerivedFrom, n.Op = parent, op
 	s.nodes[key] = n
 	s.order = append(s.order, n)
+	s.emit(Event{Kind: EventNodeEvaluated, Node: n})
 	return n, nil
+}
+
+// prefetch evaluates a frontier of feature sets concurrently into the
+// staging area, where Evaluate picks them up in the sequential commit
+// order. Sets already evaluated or staged are skipped; with one worker (or
+// a frontier of one) evaluation is left to the lazy sequential path. The
+// first evaluation error cancels the rest of the frontier and is returned;
+// a cancelled search context is reported even when every launched
+// evaluation happened to finish.
+func (s *Search) prefetch(frontier []FeatureSet) error {
+	if s.staged == nil {
+		s.staged = map[string]*Node{}
+	}
+	var todo []FeatureSet
+	seen := map[string]bool{}
+	for _, fs := range frontier {
+		k := fs.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if _, ok := s.nodes[k]; ok {
+			continue
+		}
+		if _, ok := s.staged[k]; ok {
+			continue
+		}
+		todo = append(todo, fs)
+	}
+	if s.workers() <= 1 || len(todo) <= 1 {
+		return s.ctx().Err()
+	}
+	ctx, cancel := context.WithCancel(s.ctx())
+	defer cancel()
+	sem := make(chan struct{}, s.workers())
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, fs := range todo {
+		wg.Add(1)
+		go func(fs FeatureSet) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				return
+			}
+			defer func() { <-sem }()
+			// Contain panics from the caller-supplied Builder (or anything
+			// under it): on this goroutine an unrecovered panic would kill
+			// the whole process, not just the search — with Workers=1 the
+			// same panic unwinds through the caller, who may have its own
+			// recovery (the jobs runner does).
+			n, err := func() (n *Node, err error) {
+				defer func() {
+					if p := recover(); p != nil {
+						err = fmt.Errorf("explore: evaluate %s panicked: %v", fs, p)
+					}
+				}()
+				return s.build(ctx, fs)
+			}()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				// Errors caused by the frontier-wide cancellation are
+				// echoes of firstErr, not findings of their own.
+				if firstErr == nil && ctx.Err() == nil {
+					firstErr = err
+				}
+				cancel()
+				return
+			}
+			s.staged[fs.Key()] = n
+		}(fs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return s.ctx().Err()
 }
 
 // Discover runs the discovery phase from the initial feature set: while
 // the current model is infeasible, greedily add the candidate feature that
-// most reduces the infeasible-observation count (ties broken by name). It
-// returns the final node (feasible, or the best reachable if the candidate
-// pool is exhausted).
+// most reduces the infeasible-observation count (ties broken by name, so
+// parallel frontier evaluation cannot change the choice). It returns the
+// final node (feasible, or the best reachable if the candidate pool is
+// exhausted).
 func (s *Search) Discover(initial FeatureSet, candidates []string) (*Node, error) {
 	cur, err := s.Evaluate(initial, "", OpInitial)
 	if err != nil {
 		return nil, err
 	}
+	cands := sortedCandidates(candidates)
 	for step := 0; step < s.MaxDiscoverySteps && !cur.Feasible(); step++ {
+		var frontier []FeatureSet
+		for _, cand := range cands {
+			if !cur.Features[cand] {
+				frontier = append(frontier, cur.Features.With(cand))
+			}
+		}
+		if err := s.prefetch(frontier); err != nil {
+			return nil, err
+		}
 		var best *Node
-		for _, cand := range sortedCandidates(candidates) {
+		var bestFeature string
+		for _, cand := range cands {
 			if cur.Features[cand] {
 				continue
 			}
@@ -225,13 +464,14 @@ func (s *Search) Discover(initial FeatureSet, candidates []string) (*Node, error
 				return nil, err
 			}
 			if best == nil || n.Infeasible < best.Infeasible {
-				best = n
+				best, bestFeature = n, cand
 			}
 		}
 		if best == nil || best.Infeasible >= cur.Infeasible {
 			// No candidate helps: stuck with the best reachable model.
 			return cur, nil
 		}
+		s.emit(Event{Kind: EventFeatureAdopted, Node: best, Feature: bestFeature, Step: step})
 		cur = best
 	}
 	return cur, nil
@@ -246,19 +486,30 @@ func sortedCandidates(cs []string) []string {
 
 // Eliminate runs the elimination phase from a feasible node: recursively
 // remove single features; feasible children are recursed into, infeasible
-// children terminate their subtree (the paper's pruning heuristic). It
-// returns every minimal feasible feature set found.
+// children terminate their subtree (the paper's pruning heuristic). Each
+// node's children form one frontier, evaluated concurrently. It returns
+// every minimal feasible feature set found.
 func (s *Search) Eliminate(from *Node, removable []string) ([]*Node, error) {
 	var minimal []*Node
 	var rec func(n *Node) (bool, error) // returns whether any child stayed feasible
 	visited := map[string]bool{}
+	sorted := sortedCandidates(removable)
 	rec = func(n *Node) (bool, error) {
 		if visited[n.Features.Key()] {
 			return false, nil
 		}
 		visited[n.Features.Key()] = true
+		var frontier []FeatureSet
+		for _, f := range sorted {
+			if n.Features[f] {
+				frontier = append(frontier, n.Features.Without(f))
+			}
+		}
+		if err := s.prefetch(frontier); err != nil {
+			return false, err
+		}
 		anyFeasibleChild := false
-		for _, f := range sortedCandidates(removable) {
+		for _, f := range sorted {
 			if !n.Features[f] {
 				continue
 			}
@@ -271,10 +522,13 @@ func (s *Search) Eliminate(from *Node, removable []string) ([]*Node, error) {
 				if _, err := rec(child); err != nil {
 					return false, err
 				}
+			} else {
+				s.emit(Event{Kind: EventSubtreePruned, Node: child, Feature: f})
 			}
 		}
 		if !anyFeasibleChild {
 			minimal = append(minimal, n)
+			s.emit(Event{Kind: EventMinimalModel, Node: n})
 		}
 		return anyFeasibleChild, nil
 	}

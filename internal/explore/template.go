@@ -1,0 +1,111 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+)
+
+// TemplateBuilder compiles a feature-conditional DSL template into a
+// Builder — the serialisable form of a feature space, used by the HTTP
+// exploration API where a Go closure cannot travel.
+//
+// The template is ordinary CounterPoint DSL in which whole lines may be
+// guarded by feature markers:
+//
+//	incr load.causes_walk;
+//	#if abort
+//	switch Abort { Yes => done; No => pass; };
+//	#endif
+//	done;
+//
+// A guarded line is included in a feature combination's model exactly when
+// every enclosing guard's feature is enabled (guards nest). The returned
+// universe is the sorted list of feature names the template references —
+// the natural candidate pool for Search.Discover. Each instantiated model
+// is named name:<key> (or name alone for the empty set) and, when set is
+// nil, derives its counter set from its own events.
+//
+// TemplateBuilder validates marker structure only; DSL errors surface when
+// the builder first instantiates a combination (build the all-enabled set
+// to validate eagerly — every template line is included in it).
+func TemplateBuilder(name, source string, set *counters.Set) (Builder, []string, error) {
+	lines := strings.Split(source, "\n")
+	features := map[string]bool{}
+	type openIf struct {
+		feature string
+		line    int
+	}
+	var stack []openIf
+	for i, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "#") {
+			continue
+		}
+		switch fields[0] {
+		case "#if":
+			if len(fields) != 2 {
+				return nil, nil, fmt.Errorf("explore: template line %d: #if takes exactly one feature name", i+1)
+			}
+			features[fields[1]] = true
+			stack = append(stack, openIf{fields[1], i + 1})
+		case "#endif":
+			if len(fields) != 1 {
+				return nil, nil, fmt.Errorf("explore: template line %d: #endif takes no arguments", i+1)
+			}
+			if len(stack) == 0 {
+				return nil, nil, fmt.Errorf("explore: template line %d: #endif without #if", i+1)
+			}
+			stack = stack[:len(stack)-1]
+		default:
+			return nil, nil, fmt.Errorf("explore: template line %d: unknown directive %q (want #if or #endif)", i+1, fields[0])
+		}
+	}
+	if len(stack) > 0 {
+		open := stack[len(stack)-1]
+		return nil, nil, fmt.Errorf("explore: template: #if %s at line %d is never closed", open.feature, open.line)
+	}
+	universe := make([]string, 0, len(features))
+	for f := range features {
+		universe = append(universe, f)
+	}
+	sort.Strings(universe)
+
+	builder := func(fs FeatureSet) (*core.Model, error) {
+		var out strings.Builder
+		var on []bool // enclosing guards, innermost last
+		include := true
+		for _, ln := range lines {
+			fields := strings.Fields(ln)
+			if len(fields) > 0 && strings.HasPrefix(fields[0], "#") {
+				switch fields[0] {
+				case "#if":
+					on = append(on, fs[fields[1]])
+				case "#endif":
+					on = on[:len(on)-1]
+				}
+				include = true
+				for _, en := range on {
+					if !en {
+						include = false
+						break
+					}
+				}
+				continue
+			}
+			if include {
+				out.WriteString(ln)
+				out.WriteByte('\n')
+			}
+		}
+		modelName := name
+		if key := fs.Key(); key != "" {
+			modelName = name + ":" + key
+		}
+		return core.ModelFromDSL(modelName, out.String(), set)
+	}
+	return builder, universe, nil
+}

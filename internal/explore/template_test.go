@@ -1,0 +1,135 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+)
+
+const pdeTemplate = `
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => {
+        incr load.pde$_miss;
+#if abort
+        switch Abort { Yes => done; No => pass; };
+#endif
+    };
+};
+incr load.causes_walk;
+#if doublewalk
+switch Double { Yes => incr load.causes_walk; No => pass; };
+#endif
+done;
+`
+
+func TestTemplateBuilderUniverse(t *testing.T) {
+	_, universe, err := TemplateBuilder("tmpl", pdeTemplate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(universe, ",") != "abort,doublewalk" {
+		t.Fatalf("universe: %v", universe)
+	}
+}
+
+func TestTemplateBuilderInstantiates(t *testing.T) {
+	b, universe, err := TemplateBuilder("tmpl", pdeTemplate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := b(NewFeatureSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := b(NewFeatureSet(universe...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Name != "tmpl" || all.Name != "tmpl:abort+doublewalk" {
+		t.Fatalf("model names: %q, %q", base.Name, all.Name)
+	}
+	// The abort guard adds a μpath (the Miss/Yes early exit) and
+	// doublewalk another switch: the all-features μDD must strictly grow.
+	if all.NumPaths() <= base.NumPaths() {
+		t.Fatalf("paths: base %d, all %d", base.NumPaths(), all.NumPaths())
+	}
+}
+
+// TestTemplateSearchFindsAbort runs the Figure 6 search through a template
+// instead of a hand-written builder — the exact shape the HTTP API
+// submits.
+func TestTemplateSearchFindsAbort(t *testing.T) {
+	b, universe, err := TemplateBuilder("tmpl", pdeTemplate, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearch(b, corpus())
+	final, err := s.Discover(NewFeatureSet(), universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Feasible() || !final.Features["abort"] {
+		t.Fatalf("template search should discover abort, got %s (infeasible %d)", final.Features, final.Infeasible)
+	}
+	minimal, err := s.Eliminate(final, universe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(minimal) != 1 || minimal[0].Features.Key() != "abort" {
+		t.Fatalf("minimal: %v", minimal)
+	}
+}
+
+func TestTemplateBuilderNesting(t *testing.T) {
+	src := `
+incr a.x;
+#if outer
+incr a.y;
+#if inner
+incr a.z;
+#endif
+#endif
+done;
+`
+	b, universe, err := TemplateBuilder("n", src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(universe, ",") != "inner,outer" {
+		t.Fatalf("universe: %v", universe)
+	}
+	// inner alone is shadowed by the disabled outer guard.
+	innerOnly, err := b(NewFeatureSet("inner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := b(NewFeatureSet("inner", "outer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innerOnly.Set.Len() != 1 {
+		t.Fatalf("inner-only model should see only a.x, got %d counters", innerOnly.Set.Len())
+	}
+	if both.Set.Len() != 3 {
+		t.Fatalf("full model should see a.x, a.y, a.z, got %d counters", both.Set.Len())
+	}
+}
+
+func TestTemplateBuilderErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unclosed", "#if f\nincr a.x;\ndone;", "never closed"},
+		{"orphan endif", "incr a.x;\n#endif\ndone;", "#endif without #if"},
+		{"missing name", "#if\nincr a.x;\n#endif\ndone;", "exactly one feature name"},
+		{"two names", "#if a b\nincr a.x;\n#endif\ndone;", "exactly one feature name"},
+		{"endif args", "#if a\nincr a.x;\n#endif a\ndone;", "takes no arguments"},
+		{"unknown directive", "#else\ndone;", "unknown directive"},
+	}
+	for _, tc := range cases {
+		if _, _, err := TemplateBuilder("t", tc.src, nil); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}

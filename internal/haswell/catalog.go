@@ -20,6 +20,30 @@ func pfDefaults(f ModelFeatures) ModelFeatures {
 	return f
 }
 
+// SearchUniverse returns the candidate feature axes of the guided
+// exploration search — the Table 3 space that Figures 7, 8 and 10 explore.
+func SearchUniverse() []string {
+	return []string{"tlb-pf", "early-psc", "merging", "pml4e", "bypass"}
+}
+
+// SearchFeatures maps a guided-search feature selection over the
+// SearchUniverse names to concrete ModelFeatures; on reports whether a
+// named feature is enabled. An enabled TLB prefetcher gets the Table 3
+// trigger configuration (speculative, load-triggered, LSQ).
+func SearchFeatures(on func(string) bool) ModelFeatures {
+	f := ModelFeatures{
+		TLBPrefetch: on("tlb-pf"),
+		EarlyPSC:    on("early-psc"),
+		Merging:     on("merging"),
+		PML4ECache:  on("pml4e"),
+		WalkBypass:  on("bypass"),
+	}
+	if f.TLBPrefetch {
+		f = pfDefaults(f)
+	}
+	return f
+}
+
 // Table3Models returns the twelve μDDs of the initial model search
 // (Table 3 / Figure 10), identified by their feature columns:
 // TlbPf, EarlyPsc, Merging, Pml4eCache, WalkBypass.

@@ -1,0 +1,482 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/jobs"
+)
+
+// exploreTemplate is the Figure 6 feature space as the HTTP API takes it:
+// plain DSL with #if feature guards.
+const exploreTemplate = `
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => {
+        incr load.pde$_miss;
+#if abort
+        switch Abort { Yes => done; No => pass; };
+#endif
+    };
+};
+incr load.causes_walk;
+#if doublewalk
+switch Double { Yes => incr load.causes_walk; No => pass; };
+#endif
+done;
+`
+
+// newJobsServer is newTestServer plus an explicitly-owned jobs manager, so
+// tests control its shutdown.
+func newJobsServer(t *testing.T, jopts jobs.Options) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	jm := jobs.NewManager(jopts)
+	t.Cleanup(jm.Close)
+	ts := newTestServer(t, func(o *Options) { o.Jobs = jm })
+	return ts, jm
+}
+
+// exploreBody is the canonical submission: the template space over a
+// two-observation corpus whose anomaly only the abort feature explains.
+func exploreBody(extra map[string]any) map[string]any {
+	body := map[string]any{
+		"source": exploreTemplate,
+		"observations": []*counters.Observation{
+			obsAround("benign", 500, 300, 200, 1),
+			obsAround("anomalous", 200, 500, 200, 2),
+		},
+	}
+	for k, v := range extra {
+		body[k] = v
+	}
+	return body
+}
+
+// awaitJob polls GET /v1/jobs/{id} until the job reaches a terminal state.
+func awaitJob(t *testing.T, base, id string) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st jobs.Status
+		decodeBody(t, resp, &st)
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestExploreJobEndToEnd(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+
+	resp := postJSON(t, ts.URL+"/v1/explore", exploreBody(nil))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sub struct {
+		jobs.Status
+		Candidates []string `json:"candidates"`
+	}
+	decodeBody(t, resp, &sub)
+	if sub.ID == "" || fmt.Sprint(sub.Candidates) != "[abort doublewalk]" {
+		t.Fatalf("submission: %+v", sub)
+	}
+
+	st := awaitJob(t, ts.URL, sub.ID)
+	if st.State != jobs.StateDone {
+		t.Fatalf("job finished %s (%s)", st.State, st.Error)
+	}
+	// Result travels as JSON; re-marshal to inspect it structurally.
+	raw, _ := json.Marshal(st.Result)
+	var res struct {
+		Final struct {
+			Key      string `json:"key"`
+			Feasible bool   `json:"feasible"`
+		} `json:"final"`
+		Converged bool     `json:"converged"`
+		Required  []string `json:"required"`
+		Optional  []string `json:"optional"`
+		Graph     string   `json:"graph"`
+	}
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Final.Key != "abort" || !res.Final.Feasible {
+		t.Fatalf("result: %+v", res)
+	}
+	if fmt.Sprint(res.Required) != "[abort]" {
+		t.Fatalf("required: %v", res.Required)
+	}
+	if !strings.Contains(res.Graph, "constraint-relaxation") {
+		t.Fatalf("graph: %q", res.Graph)
+	}
+
+	// The job shows up in the listing, without its (heavy) result.
+	lresp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []jobs.Status `json:"jobs"`
+	}
+	decodeBody(t, lresp, &list)
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sub.ID || list.Jobs[0].Result != nil {
+		t.Fatalf("listing: %+v", list)
+	}
+}
+
+func TestExploreJobEventsStream(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	var sub jobs.Status
+	decodeBody(t, postJSON(t, ts.URL+"/v1/explore", exploreBody(nil)), &sub)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var kinds []string
+	lastSeq := -1
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if ev.Seq != lastSeq+1 {
+			t.Fatalf("event sequence gap: %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		kinds = append(kinds, ev.Kind)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream closes itself after the terminal event.
+	if len(kinds) == 0 || kinds[len(kinds)-1] != "done" {
+		t.Fatalf("stream kinds: %v", kinds)
+	}
+	sawNode := false
+	for _, k := range kinds {
+		if k == "node-evaluated" {
+			sawNode = true
+		}
+	}
+	if !sawNode {
+		t.Fatalf("no node events in %v", kinds)
+	}
+
+	// A late subscriber replays the full history; ?from= skips a prefix.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events?from=" + fmt.Sprint(lastSeq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	sc2 := bufio.NewScanner(resp2.Body)
+	var tail []string
+	for sc2.Scan() {
+		var ev jobs.Event
+		json.Unmarshal(sc2.Bytes(), &ev)
+		tail = append(tail, ev.Kind)
+	}
+	if fmt.Sprint(tail) != "[done]" {
+		t.Fatalf("from=%d tail: %v", lastSeq, tail)
+	}
+}
+
+// TestExploreEventsDisconnect pins the disconnect contract: a watcher that
+// goes away mid-stream unsubscribes without leaking goroutines and without
+// cancelling the job it was watching.
+func TestExploreEventsDisconnect(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	eng := engine.New(engine.WithWorkers(2))
+	jm := jobs.NewManager(jobs.Options{})
+	ts := httptest.NewServer(New(Options{Engine: eng, Jobs: jm}))
+
+	var sub jobs.Status
+	decodeBody(t, postJSON(t, ts.URL+"/v1/explore", exploreBody(nil)), &sub)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/"+sub.ID+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one line, then vanish.
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first event: %v", sc.Err())
+	}
+	cancel()
+	resp.Body.Close()
+
+	// The job must finish normally despite the watcher's disconnect.
+	st := awaitJob(t, ts.URL, sub.ID)
+	if st.State != jobs.StateDone {
+		t.Fatalf("job after disconnect: %s (%s)", st.State, st.Error)
+	}
+
+	// Teardown back to the pre-server baseline: every subscription,
+	// forwarder and job goroutine must be gone.
+	ts.Close()
+	jm.Close()
+	eng.Close()
+	http.DefaultClient.CloseIdleConnections()
+	settleGoroutines(t, baseline)
+}
+
+// TestExploreJobCancelAndResume drives DELETE + POST resume over HTTP.
+// For determinism the submitted job is held in the queue behind a blocker
+// job (one job slot), so the DELETE always lands on a live job; the resume
+// then runs it to convergence. Mid-frontier cancellation and checkpoint
+// equivalence are pinned at the jobs layer, where the builder can be
+// gated.
+func TestExploreJobCancelAndResume(t *testing.T) {
+	ts, jm := newJobsServer(t, jobs.Options{MaxConcurrent: 1})
+
+	// The blocker occupies the only job slot until released.
+	release := make(chan struct{})
+	blocker, err := jm.Submit("blocker", func(ctx context.Context, job *jobs.Job) (any, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sub jobs.Status
+	decodeBody(t, postJSON(t, ts.URL+"/v1/explore", exploreBody(nil)), &sub)
+	gresp0, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queued jobs.Status
+	decodeBody(t, gresp0, &queued)
+	if queued.State != jobs.StateQueued {
+		t.Fatalf("job should be queued behind the blocker: %+v", queued)
+	}
+
+	dreq, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+sub.ID, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE status %d", dresp.StatusCode)
+	}
+	dresp.Body.Close()
+	st := awaitJob(t, ts.URL, sub.ID)
+	if st.State != jobs.StateCancelled {
+		t.Fatalf("after DELETE: %+v", st)
+	}
+
+	close(release)
+	if err := blocker.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	rresp := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/v1/jobs/"+sub.ID+"/resume", "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}()
+	if rresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume status %d", rresp.StatusCode)
+	}
+	var rsub jobs.Status
+	decodeBody(t, rresp, &rsub)
+	if rsub.ResumedFrom != sub.ID {
+		t.Fatalf("resumed from %q, want %q", rsub.ResumedFrom, sub.ID)
+	}
+	rst := awaitJob(t, ts.URL, rsub.ID)
+	if rst.State != jobs.StateDone {
+		t.Fatalf("resumed job: %s (%s)", rst.State, rst.Error)
+	}
+	raw, _ := json.Marshal(rst.Result)
+	var res struct {
+		Final struct {
+			Key string `json:"key"`
+		} `json:"final"`
+	}
+	json.Unmarshal(raw, &res)
+	if res.Final.Key != "abort" {
+		t.Fatalf("resumed final: %+v", res)
+	}
+
+	// DELETE on the (terminal) original now removes it from retention.
+	dreq2, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+sub.ID, nil)
+	dresp2, err := http.DefaultClient.Do(dreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rem map[string]any
+	decodeBody(t, dresp2, &rem)
+	if rem["removed"] != true {
+		t.Fatalf("remove response: %v", rem)
+	}
+	gresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantError(t, gresp, http.StatusNotFound, "unknown job")
+}
+
+func TestExploreSubmitValidation(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	cases := []struct {
+		name   string
+		body   map[string]any
+		status int
+		substr string
+	}{
+		{"no space", map[string]any{"observations": exploreBody(nil)["observations"]},
+			http.StatusBadRequest, "source (a DSL template) or catalog"},
+		{"both spaces", exploreBody(map[string]any{"catalog": CatalogHaswellMMU}),
+			http.StatusBadRequest, "not both"},
+		{"unknown catalog", map[string]any{"catalog": "skylake"},
+			http.StatusBadRequest, "unknown catalog"},
+		{"no corpus", map[string]any{"source": exploreTemplate},
+			http.StatusBadRequest, "uploaded corpus"},
+		{"bad template", exploreBody(map[string]any{"source": "#if f\ndone;"}),
+			http.StatusBadRequest, "never closed"},
+		{"bad dsl", exploreBody(map[string]any{"source": "#if f\nnot dsl\n#endif"}),
+			http.StatusBadRequest, ""},
+		{"unknown candidate", exploreBody(map[string]any{"candidates": []string{"warp-drive"}}),
+			http.StatusBadRequest, "unknown feature"},
+		{"unknown initial", exploreBody(map[string]any{"initial": []string{"warp-drive"}}),
+			http.StatusBadRequest, "unknown feature"},
+		{"empty observation", exploreBody(map[string]any{"observations": []map[string]any{
+			{"label": "empty", "events": []string{"load.causes_walk", "load.pde$_miss"}, "samples": [][]float64{}},
+		}}), http.StatusBadRequest, ""},
+		{"uncovered corpus", exploreBody(map[string]any{"observations": []*counters.Observation{
+			func() *counters.Observation {
+				o := counters.NewObservation("narrow", counters.NewSet("load.causes_walk"))
+				o.Append([]float64{1})
+				return o
+			}(),
+		}}), http.StatusBadRequest, "does not record model counters"},
+		{"bad confidence", exploreBody(nil), http.StatusBadRequest, "confidence"},
+	}
+	for _, tc := range cases {
+		url := ts.URL + "/v1/explore"
+		if tc.name == "bad confidence" {
+			url += "?confidence=7"
+		}
+		resp := postJSON(t, url, tc.body)
+		wantError(t, resp, tc.status, tc.substr)
+	}
+}
+
+// TestExploreRestrictedCandidatesValidation pins the validation scope:
+// the corpus is checked against the searched space (initial ∪
+// candidates), so counters used only by unsearched features must not
+// cause a rejection.
+func TestExploreRestrictedCandidatesValidation(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	// "wide" guards a counter the corpus does not record.
+	src := `
+do LookupPde$;
+switch Pde$Status {
+    Hit  => pass;
+    Miss => {
+        incr load.pde$_miss;
+#if abort
+        switch Abort { Yes => done; No => pass; };
+#endif
+    };
+};
+incr load.causes_walk;
+#if wide
+incr load.walk_done;
+#endif
+done;
+`
+	body := exploreBody(map[string]any{"source": src})
+
+	// Searching everything needs load.walk_done: rejected.
+	resp := postJSON(t, ts.URL+"/v1/explore", body)
+	wantError(t, resp, http.StatusBadRequest, "does not record model counters")
+
+	// Restricting the search away from "wide" makes the same corpus valid.
+	body["candidates"] = []string{"abort"}
+	resp = postJSON(t, ts.URL+"/v1/explore", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("restricted submission status %d", resp.StatusCode)
+	}
+	var sub jobs.Status
+	decodeBody(t, resp, &sub)
+	if st := awaitJob(t, ts.URL, sub.ID); st.State != jobs.StateDone {
+		t.Fatalf("restricted search: %s (%s)", st.State, st.Error)
+	}
+}
+
+func TestJobsNotFound(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	for _, probe := range []struct{ method, path string }{
+		{"GET", "/v1/jobs/j999999"},
+		{"GET", "/v1/jobs/j999999/events"},
+		{"DELETE", "/v1/jobs/j999999"},
+		{"POST", "/v1/jobs/j999999/resume"},
+	} {
+		req, _ := http.NewRequest(probe.method, ts.URL+probe.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantError(t, resp, http.StatusNotFound, "unknown job")
+	}
+}
+
+func TestJobEventsBadFrom(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	var sub jobs.Status
+	decodeBody(t, postJSON(t, ts.URL+"/v1/explore", exploreBody(nil)), &sub)
+	awaitJob(t, ts.URL, sub.ID)
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events?from=x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantError(t, resp, http.StatusBadRequest, "from must be")
+}
+
+// TestExploreCatalogSubmission checks the catalogue space with an uploaded
+// corpus: validation runs against the full Table 3 model, so a pde-only
+// corpus is rejected up front rather than failing asynchronously.
+func TestExploreCatalogSubmission(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	resp := postJSON(t, ts.URL+"/v1/explore", map[string]any{
+		"catalog": CatalogHaswellMMU,
+		"observations": []*counters.Observation{
+			obsAround("narrow", 500, 300, 50, 1),
+		},
+	})
+	wantError(t, resp, http.StatusBadRequest, "does not record model counters")
+}

@@ -17,6 +17,12 @@
 //	POST /v1/models/{name}/test          one observation -> one verdict
 //	POST /v1/models/{name}/evaluate      corpus (JSON or multipart CSV) -> aggregate
 //	POST /v1/models/{name}/evaluate/stream  corpus -> NDJSON verdict stream
+//	POST /v1/explore                     submit an exploration job
+//	GET  /v1/jobs                        list exploration jobs
+//	GET  /v1/jobs/{id}                   job status and result
+//	GET  /v1/jobs/{id}/events            NDJSON progress stream (replay + live)
+//	POST /v1/jobs/{id}/resume            resume a terminal job from its checkpoint
+//	DELETE /v1/jobs/{id}                 cancel a running job / drop a finished one
 //	GET  /healthz                        liveness and cache statistics
 //	GET  /stats                          engine solver telemetry (two-tier counters)
 //
@@ -24,7 +30,11 @@
 // confidence, mode (correlated|independent), identify, first, batch, exact
 // (force the exact LP tier, bypassing the float filter).
 // Streaming honours client disconnects: when the request context ends the
-// underlying engine stream is cancelled and its goroutines exit.
+// underlying engine stream is cancelled and its goroutines exit. The jobs
+// endpoints are the asynchronous counterpart (see jobs.go and
+// internal/jobs): exploration searches outlive any one request, progress
+// streams replay and resume, and a disconnected watcher never cancels the
+// job it was watching. See docs/API.md for the full endpoint reference.
 package server
 
 import (
@@ -41,6 +51,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/stats"
 )
 
@@ -69,6 +80,11 @@ type Options struct {
 	MaxBodyBytes int64
 	// Catalog seeds the registry at construction (sources compile lazily).
 	Catalog []Model
+	// Jobs manages the asynchronous exploration jobs behind /v1/explore
+	// and /v1/jobs. nil creates a manager with jobs.Options defaults; pass
+	// one explicitly to tune concurrency/retention and to Close it on
+	// shutdown (counterpointd does).
+	Jobs *jobs.Manager
 }
 
 // Server is the HTTP feasibility service. Create with New; it implements
@@ -80,6 +96,7 @@ type Server struct {
 	sem       chan struct{}
 	bodyLimit int64
 	mux       *http.ServeMux
+	jobs      *jobs.Manager
 }
 
 // New builds a Server from opts.
@@ -90,9 +107,13 @@ func New(opts Options) *Server {
 		defaults:  opts.Defaults,
 		bodyLimit: opts.MaxBodyBytes,
 		mux:       http.NewServeMux(),
+		jobs:      opts.Jobs,
 	}
 	if s.eng == nil {
 		s.eng = engine.Default()
+	}
+	if s.jobs == nil {
+		s.jobs = jobs.NewManager(jobs.Options{})
 	}
 	if s.bodyLimit <= 0 {
 		s.bodyLimit = DefaultMaxBodyBytes
@@ -109,6 +130,12 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/test", s.handleTest)
 	s.mux.HandleFunc("POST /v1/models/{name}/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/models/{name}/evaluate/stream", s.handleEvaluateStream)
+	s.mux.HandleFunc("POST /v1/explore", s.handleExploreSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleJobResume)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -116,6 +143,9 @@ func New(opts Options) *Server {
 
 // Registry exposes the server's model registry.
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Jobs exposes the server's exploration job manager.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -285,6 +315,7 @@ type healthJSON struct {
 	Models  int    `json:"models"`
 	Workers int    `json:"workers"`
 	Regions int    `json:"cached_regions"`
+	Jobs    int    `json:"jobs"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -293,6 +324,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Models:  s.reg.Len(),
 		Workers: s.eng.Workers(),
 		Regions: s.eng.Regions().Len(),
+		Jobs:    s.jobs.Len(),
 	})
 }
 

@@ -11,7 +11,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility|SolveWorkspace|SolveFresh|CorpusSession|CorpusPerCall}"
+BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility|SolveWorkspace|SolveFresh|CorpusSession|CorpusPerCall|ExploreSequential|ExploreParallel}"
 COUNT="${COUNT:-1}"
 TXT=BENCH_results.txt
 JSON=BENCH_results.json
@@ -19,6 +19,7 @@ JSON=BENCH_results.json
 {
   echo "# go test -run=NONE -bench '${BENCH}' -benchmem -count=${COUNT}"
   echo "# recorded $(date -u +%Y-%m-%dT%H:%M:%SZ) at $(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  echo "# cores: $(nproc 2>/dev/null || echo unknown) (ExploreParallel vs ExploreSequential measures the frontier-parallel speedup; it needs >=2 cores to show one)"
   go test -run=NONE -bench "${BENCH}" -benchmem -count="${COUNT}" -timeout 60m . ./internal/...
 } | tee "${TXT}"
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Checks that every relative markdown link in the repo's documentation
+# points at a file (or directory) that exists, so README/DESIGN/docs can't
+# silently rot as the tree moves under them. External links (scheme://)
+# and pure anchors (#...) are left alone — no network access here.
+#
+# Usage: scripts/checklinks.sh [file.md ...]   (default: the doc set)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ ${#files[@]} -eq 0 ]; then
+  files=(README.md DESIGN.md ROADMAP.md docs/*.md)
+fi
+
+fail=0
+for f in "${files[@]}"; do
+  [ -f "$f" ] || { echo "checklinks: $f does not exist"; fail=1; continue; }
+  dir=$(dirname "$f")
+  # Markdown inline links: [text](target). One link per line after the
+  # greps; targets with spaces do not occur in this repo's docs.
+  while IFS= read -r target; do
+    case "$target" in
+      ''|\#*) continue ;;                  # pure anchor
+      *://*|mailto:*) continue ;;          # external
+    esac
+    path="${target%%#*}"                   # strip anchor
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "checklinks: $f links to missing $target"
+      fail=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "checklinks: FAILED"
+  exit 1
+fi
+echo "checklinks: all relative links resolve (${files[*]})"
