@@ -12,6 +12,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/dsl"
 	"repro/internal/experiments"
+	"repro/internal/floatlp"
 	"repro/internal/haswell"
 	"repro/internal/pagetable"
 	"repro/internal/simplex"
@@ -87,6 +88,41 @@ func BenchmarkFig9aFeasibility(b *testing.B) {
 				}
 			})
 		}
+		// certify-only isolates the per-verdict certification cost the
+		// int64 kernel targets: one float-tier certificate, checked
+		// exactly over and over on a fixed LP (no region/LP rebuild, no
+		// float solve in the timed loop).
+		b.Run(string(g)+"/certify-only", func(b *testing.B) {
+			proj := obs.Project(set)
+			r, err := stats.NewRegion(proj, core.DefaultConfidence, stats.Correlated)
+			if err != nil {
+				b.Fatal(err)
+			}
+			p := simplex.NewProblem(0)
+			if err := m.RegionLP(p, r); err != nil {
+				b.Fatal(err)
+			}
+			out := floatlp.NewWorkspace().Feasibility(p)
+			cert := simplex.NewCertifier()
+			b.ReportAllocs()
+			b.ResetTimer()
+			switch out.Status {
+			case floatlp.Feasible:
+				for i := 0; i < b.N; i++ {
+					if !cert.CertifyPoint(p, out.Point) {
+						b.Fatal("feasible certificate rejected")
+					}
+				}
+			case floatlp.Infeasible:
+				for i := 0; i < b.N; i++ {
+					if !cert.CertifyFarkas(p, out.Ray) {
+						b.Fatal("Farkas certificate rejected")
+					}
+				}
+			default:
+				b.Skip("float filter inconclusive on the bench LP")
+			}
+		})
 	}
 }
 

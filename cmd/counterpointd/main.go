@@ -31,10 +31,13 @@
 //	-job-history n     ring of finished jobs kept queryable (default 64)
 //	-job-ttl d         how long finished jobs stay queryable (default 1h)
 //	-no-catalog        start with an empty model registry
+//	-pprof-addr a      serve net/http/pprof on a (off by default; bind
+//	                   loopback only — profiles expose internals)
 //
 // GET /stats reports the two-tier solver's telemetry (evaluations, float
-// filter hits, certification failures, exact fallbacks) accumulated across
-// all requests since boot.
+// filter hits, certification failures, exact fallbacks, plus the int64
+// kernel's fast-path/promotion counters and the certification arithmetic
+// split) accumulated across all requests since boot.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener
@@ -51,6 +54,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -96,6 +100,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobHistory    = fs.Int("job-history", jobs.DefaultMaxRetained, "how many finished exploration jobs stay queryable")
 		jobTTL        = fs.Duration("job-ttl", jobs.DefaultRetainFor, "how long finished exploration jobs stay queryable")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
+		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); bind loopback only, e.g. 127.0.0.1:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -129,6 +134,26 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Catalog:       catalog,
 		Jobs:          jm,
 	})
+
+	// Profiling endpoint: off by default, on its own mux and listener so
+	// pprof handlers are never reachable through the service address.
+	// Profiles expose internals (paths, timings, memory layout) — bind it
+	// to loopback and reach it through an SSH tunnel in deployment.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(out, "counterpointd: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() { _ = http.Serve(pln, pmux) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -170,6 +171,71 @@ func TestFlagValidation(t *testing.T) {
 	}
 	if err := run(context.Background(), []string{"-bogus"}, &bytes.Buffer{}); err == nil {
 		t.Fatal("unknown flag must be rejected")
+	}
+	if err := run(context.Background(), []string{"-pprof-addr", "not-an-address"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unlistenable pprof address must be rejected")
+	}
+}
+
+// TestPprofEndpoint boots the daemon with -pprof-addr and fetches a
+// profile index from the dedicated listener, then checks the service mux
+// does NOT expose pprof.
+func TestPprofEndpoint(t *testing.T) {
+	addrCh := make(chan net.Addr, 1)
+	testListenerHook = func(a net.Addr) { addrCh <- a }
+	defer func() { testListenerHook = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-pprof-addr", "127.0.0.1:0"}, &out)
+	}()
+	var addr net.Addr
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never bound its listener")
+	}
+
+	// The pprof address is reported on the boot line.
+	var pprofBase string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := regexp.MustCompile(`pprof on (http://\S+/debug/pprof/)`).FindStringSubmatch(out.String()); m != nil {
+			pprofBase = m[1]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if pprofBase == "" {
+		t.Fatalf("pprof address never reported (output %q)", out.String())
+	}
+	resp, err := http.Get(pprofBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", pprofBase, resp.StatusCode)
+	}
+	// The service mux must not serve profiles.
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("service address must not expose pprof")
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not shut down")
 	}
 }
 

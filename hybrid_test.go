@@ -1,11 +1,14 @@
 package repro
 
-// Solver-equivalence property test for the two-tier feasibility solver:
+// Solver-equivalence property tests for the two-tier feasibility solver:
 // across the full Table 3/5/7 model catalogue evaluated on simulated
 // observations, the hybrid (float filter + exact certificate checking +
 // exact fallback) must agree verdict-for-verdict with the exact rational
-// simplex. The fallback rate is reported, not hidden (ISSUE 3 acceptance
-// criterion); randomized-LP equivalence lives in internal/floatlp.
+// simplex, and the exact simplex's int64 kernel tableau must agree
+// verdict-for-verdict with the pure big.Rat reference tableau. Fallback
+// and promotion rates are reported, not hidden (ISSUE 3 and ISSUE 5
+// acceptance criteria); randomized-LP equivalence lives in
+// internal/floatlp and internal/simplex.
 
 import (
 	"testing"
@@ -58,7 +61,11 @@ func hybridCorpus(t *testing.T) []*counters.Observation {
 }
 
 // TestHybridMatchesExactOnCatalogue is the end-to-end equivalence property
-// over the paper's model catalogue.
+// over the paper's model catalogue, pinning BOTH solver equivalences at
+// once: the hybrid (float filter + certificates) against the exact tier,
+// and the exact tier's int64 kernel tableau against the pure big.Rat
+// reference tableau. Zero divergence is required on every verdict; the
+// kernel promotion (overflow fallback) rate is reported, never hidden.
 func TestHybridMatchesExactOnCatalogue(t *testing.T) {
 	models := append(haswell.Table3Models(), haswell.Table7Models()...)
 	if testing.Short() {
@@ -69,11 +76,14 @@ func TestHybridMatchesExactOnCatalogue(t *testing.T) {
 	set := haswell.AnalysisSet()
 	corpus := hybridCorpus(t)
 
-	exactWS := simplex.NewWorkspace()
+	kernelWS := simplex.NewWorkspace()
+	bigWS := simplex.NewWorkspace()
+	bigWS.ForceBigRat = true
 	hstats := &core.SolverStats{}
 	hybrid := core.NewSolver(hstats)
 
 	var feasible, infeasible int
+	var kernelFast, kernelPromoted int
 	for _, nf := range models {
 		m, err := haswell.BuildModel(nf.Name, nf.Features, set)
 		if err != nil {
@@ -84,11 +94,23 @@ func TestHybridMatchesExactOnCatalogue(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s/%s: %v", nf.Name, o.Label, err)
 			}
-			p := exactWS.Prepare(0)
+			p := kernelWS.Prepare(0)
 			if err := m.RegionLP(p, r); err != nil {
 				t.Fatalf("%s/%s: %v", nf.Name, o.Label, err)
 			}
-			want := exactWS.SolveStatus(p) == simplex.Optimal
+			want := bigWS.SolveStatus(p) == simplex.Optimal
+			kernelVerdict := kernelWS.SolveStatus(p) == simplex.Optimal
+			if kernelVerdict != want {
+				t.Fatalf("%s/%s: int64-kernel verdict %v, big.Rat verdict %v — divergence",
+					nf.Name, o.Label, kernelVerdict, want)
+			}
+			if isKernel, promos := kernelWS.LastSolveKernel(); !isKernel {
+				t.Fatalf("%s/%s: default workspace did not use the kernel", nf.Name, o.Label)
+			} else if promos == 0 {
+				kernelFast++
+			} else {
+				kernelPromoted++
+			}
 			got := hybrid.Feasible(p)
 			if got != want {
 				t.Fatalf("%s/%s: hybrid verdict %v, exact verdict %v — divergence",
@@ -107,6 +129,8 @@ func TestHybridMatchesExactOnCatalogue(t *testing.T) {
 	t.Logf("solver telemetry: %+v (filter hit rate %.0f%%, fallback rate %.0f%%)",
 		c, 100*float64(c.FilterHits())/float64(c.Evaluations),
 		100*float64(c.ExactFallbacks)/float64(c.Evaluations))
+	t.Logf("kernel: %d fast solves, %d promoted solves (promotion rate %.0f%%)",
+		kernelFast, kernelPromoted, 100*float64(kernelPromoted)/float64(kernelFast+kernelPromoted))
 	if feasible == 0 || infeasible == 0 {
 		t.Fatalf("corpus did not split the catalogue (feasible=%d infeasible=%d): property coverage too thin",
 			feasible, infeasible)

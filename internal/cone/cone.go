@@ -112,6 +112,26 @@ type Cone struct {
 	hOnce sync.Once // guards the deduction: concurrent first callers share one run
 	hRep  *HRep     // cached constraint system
 	hErr  error
+
+	// gen64 caches the generators' int64 kernel image (generators are
+	// GCD-normalised integer vectors, so they virtually always fit); nil
+	// rows mark generators too wide for the kernel. Implies runs its dot
+	// products on this cache instead of big.Rat.
+	gen64Once sync.Once
+	gen64     [][]int64
+}
+
+// generators64 returns (building once) the int64 image of the generators.
+func (c *Cone) generators64() [][]int64 {
+	c.gen64Once.Do(func() {
+		c.gen64 = make([][]int64, len(c.Generators))
+		for i, g := range c.Generators {
+			if v64, ok := exact.Vec64FromVec(g); ok && v64.Den == 1 {
+				c.gen64[i] = v64.Num
+			}
+		}
+	})
+	return c.gen64
 }
 
 // HRep is the H-representation of a model cone: the complete set of model
@@ -301,9 +321,25 @@ func (c *Cone) buildConstraints() (*HRep, error) {
 // Implies reports whether every generator of the cone satisfies k — i.e.
 // whether the model implies constraint k (used to confirm refinements such
 // as Figure 6d, where the refined μDD must no longer imply the violated
-// constraint).
+// constraint). The generator dot products run on the int64 kernel (the
+// constraint's coefficients and the cached integer generators), falling
+// back to exact big.Rat arithmetic per generator on overflow.
 func (c *Cone) Implies(k Constraint) bool {
-	for _, g := range c.Generators {
+	k64, k64ok := exact.Vec64FromVec(k.Coeffs)
+	gen64 := c.generators64()
+	for i, g := range c.Generators {
+		if k64ok && gen64[i] != nil {
+			if s, ok := k64.IntDotSign(gen64[i]); ok {
+				if k.Rel == EQZero {
+					if s != 0 {
+						return false
+					}
+				} else if s > 0 {
+					return false
+				}
+				continue
+			}
+		}
 		if !k.SatisfiedBy(g) {
 			return false
 		}

@@ -2,28 +2,220 @@ package cone
 
 import (
 	"fmt"
+
 	"math/big"
+	"math/bits"
 
 	"repro/internal/exact"
 	"repro/internal/simplex"
 )
 
-// ddRay is one ray in the double-description state. tight records which
-// processed inequality indices are tight (=0) at the ray, driving the
-// combinatorial adjacency test.
+// bitset is a fixed-width bit vector over processed inequality indices.
+// Replacing the former map[int]bool tight sets, it makes the adjacency
+// pre-test one AND+popcount sweep and set union one OR sweep.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i>>6] |= 1 << uint(i&63) }
+func (b bitset) has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+func (b bitset) or(c bitset) {
+	for i := range b {
+		b[i] |= c[i]
+	}
+}
+
+// andCount returns |b ∩ c|.
+func andCount(b, c bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] & c[i])
+	}
+	return n
+}
+
+// appendAnd appends the indices of b ∩ c to out.
+func appendAnd(b, c bitset, out []int) []int {
+	for w := range b {
+		word := b[w] & c[w]
+		base := w << 6
+		for word != 0 {
+			out = append(out, base+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// ddRay is one ray in the double-description state: a GCD-normalised
+// integer vector carried in the int64 kernel representation (iv) whenever
+// it fits, with a per-ray *big.Rat fallback (bv) otherwise. tight records
+// which processed inequality indices are tight (=0) at the ray, driving
+// the combinatorial adjacency test.
 type ddRay struct {
-	v     exact.Vec
-	tight map[int]bool
+	iv    []int64   // normalised integer entries; nil when the ray is wide
+	bv    exact.Vec // big fallback (normalised integral); nil when iv != nil
+	tight bitset
+}
+
+// vec materialises the ray as a big.Rat vector.
+func (r *ddRay) vec() exact.Vec {
+	if r.iv != nil {
+		return exact.Vec64{Num: r.iv, Den: 1}.Vec()
+	}
+	return r.bv
+}
+
+// key returns the deduplication key; int64 and wide rays of equal value
+// produce equal keys (both print normalised integers).
+func (r *ddRay) key() string {
+	if r.iv != nil {
+		return exact.Vec64{Num: r.iv, Den: 1}.Key()
+	}
+	return r.bv.Key()
+}
+
+// rayFromVec normalises v and stores it in the kernel representation when
+// every entry fits int64.
+func rayFromVec(v exact.Vec, tight bitset) ddRay {
+	n := v.NormalizeIntegral()
+	if v64, ok := exact.Vec64FromVec(n); ok {
+		return ddRay{iv: v64.Num, tight: tight}
+	}
+	return ddRay{bv: n, tight: tight}
 }
 
 // ddMaxRays bounds intermediate double-description growth.
 const ddMaxRays = 200000
 
+// ddY is one processed hyperplane normal: the exact big.Rat vector plus,
+// when it fits, the int64 common-denominator form used for kernel dot
+// products (only signs and integer combinations are consumed, so the
+// positive denominator never materialises).
+type ddY struct {
+	v  exact.Vec
+	iv []int64 // common-denominator numerators; nil when wide
+}
+
+// dotSign classifies ray r against y: the sign of r·y. The kernel path is
+// an overflow-checked integer dot product (positive denominators cannot
+// change the sign); any overflow or wide operand falls back to big.Rat.
+func (y *ddY) dotSign(r *ddRay) int {
+	if r.iv != nil && y.iv != nil {
+		if s, ok := (exact.Vec64{Num: r.iv, Den: 1}).IntDotSign(y.iv); ok {
+			return s
+		}
+	}
+	return r.vec().Dot(y.v).Sign()
+}
+
+// intDot returns the integer dot product Σ r.iv[i]·y.iv[i], ok=false on
+// overflow or wide operands. The true r·y is this over y's (positive)
+// denominator; combinations only need the numerator (a positive rescale of
+// the combined ray, which GCD normalisation removes anyway).
+func (y *ddY) intDot(r *ddRay) (int64, bool) {
+	if r.iv == nil || y.iv == nil {
+		return 0, false
+	}
+	var sum int64
+	for i, a := range r.iv {
+		if a == 0 || y.iv[i] == 0 {
+			continue
+		}
+		t, ok := exact.MulInt64(a, y.iv[i])
+		if !ok {
+			return 0, false
+		}
+		sum, ok = exact.AddInt64(sum, t)
+		if !ok {
+			return 0, false
+		}
+	}
+	return sum, true
+}
+
+// combineRays builds the hyperplane ray w = (p·y)·n − (n·y)·p for an
+// adjacent (pos, neg) pair, GCD-normalised. The kernel path combines the
+// integer forms with overflow-checked arithmetic (the shared positive
+// denominator of y drops out under normalisation); overflow or wide
+// operands fall back to exact big.Rat arithmetic for this pair only.
+func combineRays(p, n *ddRay, y *ddY, tight bitset) (ddRay, bool) {
+	if sp, ok := y.intDot(p); ok {
+		if sn, ok := y.intDot(n); ok {
+			if w, ok := combineInt(p.iv, n.iv, sp, sn); ok {
+				if allZero(w) {
+					return ddRay{}, false
+				}
+				return ddRay{iv: w, tight: tight}, true
+			}
+		}
+	}
+	// Big fallback for this pair.
+	pv, nv := p.vec(), n.vec()
+	pd := pv.Dot(y.v)
+	nd := nv.Dot(y.v)
+	w := nv.Scale(pd)
+	negnd := new(big.Rat).Neg(nd)
+	w.AddScaled(negnd, pv)
+	w = w.NormalizeIntegral()
+	if w.IsZero() {
+		return ddRay{}, false
+	}
+	r := rayFromVec(w, tight)
+	return r, true
+}
+
+// combineInt computes normalise(sp·n − sn·p) in checked int64 arithmetic.
+func combineInt(p, n []int64, sp, sn int64) ([]int64, bool) {
+	out := make([]int64, len(p))
+	g := uint64(0)
+	for i := range p {
+		a, ok := exact.MulInt64(sp, n[i])
+		if !ok {
+			return nil, false
+		}
+		b, ok := exact.MulInt64(sn, p[i])
+		if !ok {
+			return nil, false
+		}
+		d, ok := exact.SubInt64(a, b)
+		if !ok {
+			return nil, false
+		}
+		out[i] = d
+		if d != 0 {
+			g = exact.GCD64(g, exact.AbsU64(d))
+		}
+	}
+	if g > 1 {
+		for i, v := range out {
+			if v < 0 {
+				out[i] = -int64(exact.AbsU64(v) / g)
+			} else {
+				out[i] = int64(uint64(v) / g)
+			}
+		}
+	}
+	return out, true
+}
+
+func allZero(xs []int64) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // dualExtremeRays computes the extreme rays of the dual cone
 //
 //	D = { a ∈ ℝ^d : a·y ≤ 0 for every y in ys }
 //
-// with the double description (Motzkin) method over exact rationals.
+// with the double description (Motzkin) method over exact rationals: int64
+// kernel arithmetic on GCD-normalised integer rays, promoting to big.Rat
+// per ray (and per combination) on overflow.
 //
 // Preconditions: the ys span ℝ^d (guaranteed by the caller, which works in
 // row-space coordinates), so D is pointed and the final state carries no
@@ -34,8 +226,19 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 		return nil, nil
 	}
 
+	// Hyperplane normals, converted once to the kernel form where possible.
+	dys := make([]ddY, len(ys))
+	for i, y := range ys {
+		dys[i].v = y
+		if v64, ok := exact.Vec64FromVec(y); ok {
+			dys[i].iv = v64.Num
+		}
+	}
+
 	// State: lineality basis L and rays R, all satisfying the inequalities
-	// processed so far.
+	// processed so far. The lineality pivot branch runs at most d times and
+	// stays on big.Rat; the per-constraint ray classification and pairing —
+	// the hot loops — run on the kernel.
 	var lineality []exact.Vec
 	for i := 0; i < d; i++ {
 		l := exact.NewVec(d)
@@ -44,13 +247,14 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 	}
 	var rays []ddRay
 
-	for mi, y := range ys {
+	for mi := range dys {
+		y := &dys[mi]
 		// 1. If some lineality direction violates the hyperplane, pivot it
 		// out: it becomes the unique ray strictly inside the half-space and
 		// everything else is projected onto the hyperplane a·y = 0.
 		pivot := -1
 		for li, l := range lineality {
-			if l.Dot(y).Sign() != 0 {
+			if l.Dot(y.v).Sign() != 0 {
 				pivot = li
 				break
 			}
@@ -58,7 +262,7 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 		if pivot >= 0 {
 			l0 := lineality[pivot]
 			lineality = append(lineality[:pivot], lineality[pivot+1:]...)
-			dot0 := l0.Dot(y)
+			dot0 := l0.Dot(y.v)
 			// Scale l0 so that l0·y = -1 (strictly feasible direction).
 			scale := new(big.Rat).Inv(dot0)
 			scale.Neg(scale)
@@ -67,68 +271,92 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 			// x' = x + (x·y)·l0  ⇒  x'·y = x·y + (x·y)(l0·y) = 0.
 			for i, l := range lineality {
 				proj := l.Clone()
-				proj.AddScaled(l.Dot(y), l0)
+				proj.AddScaled(l.Dot(y.v), l0)
 				lineality[i] = proj
 			}
 			for i := range rays {
-				proj := rays[i].v.Clone()
-				proj.AddScaled(rays[i].v.Dot(y), l0)
-				rays[i].v = proj.NormalizeIntegral()
-				rays[i].tight[mi] = true
+				proj := rays[i].vec().Clone()
+				proj.AddScaled(proj.Dot(y.v), l0)
+				tight := rays[i].tight
+				tight.set(mi)
+				rays[i] = rayFromVec(proj, tight)
 			}
 			// l0 came from the lineality space, so it satisfies every
 			// previously processed constraint with equality and the new one
 			// strictly.
-			l0tight := make(map[int]bool, mi)
+			l0tight := newBitset(len(ys))
 			for k := 0; k < mi; k++ {
-				l0tight[k] = true
+				l0tight.set(k)
 			}
-			rays = append(rays, ddRay{v: l0.NormalizeIntegral(), tight: l0tight})
+			rays = append(rays, rayFromVec(l0, l0tight))
 			continue
 		}
 
-		// 2. Lineality is entirely on the hyperplane; split rays by sign.
-		var neg, zero, pos []ddRay
-		for _, r := range rays {
-			switch r.v.Dot(y).Sign() {
+		// 2. Lineality is entirely on the hyperplane; classify rays by sign
+		// (one pass), then split into pre-sized groups.
+		signs := make([]int8, len(rays))
+		var nNeg, nZero, nPos int
+		for i := range rays {
+			switch y.dotSign(&rays[i]) {
 			case -1:
-				neg = append(neg, r)
+				signs[i] = -1
+				nNeg++
 			case 0:
-				r.tight[mi] = true
-				zero = append(zero, r)
+				signs[i] = 0
+				nZero++
 			case 1:
-				pos = append(pos, r)
+				signs[i] = 1
+				nPos++
 			}
 		}
-		if len(pos) == 0 {
-			rays = dedupeRays(append(neg, zero...))
+		if nPos == 0 {
+			kept := make([]ddRay, 0, nNeg+nZero)
+			for i := range rays {
+				if signs[i] == 0 {
+					rays[i].tight.set(mi)
+				}
+				kept = append(kept, rays[i])
+			}
+			rays = dedupeRays(kept)
 			continue
 		}
-		next := append([]ddRay{}, neg...)
+		neg := make([]ddRay, 0, nNeg)
+		zero := make([]ddRay, 0, nZero)
+		pos := make([]ddRay, 0, nPos)
+		for i := range rays {
+			switch signs[i] {
+			case -1:
+				neg = append(neg, rays[i])
+			case 0:
+				rays[i].tight.set(mi)
+				zero = append(zero, rays[i])
+			case 1:
+				pos = append(pos, rays[i])
+			}
+		}
+		next := make([]ddRay, 0, nNeg+nZero+nPos)
+		next = append(next, neg...)
 		next = append(next, zero...)
 		// Combine adjacent (pos, neg) pairs into new hyperplane rays.
-		for _, p := range pos {
-			for _, n := range neg {
-				if !adjacent(p, n, ys, d, len(lineality)) {
+		var commonScratch []int
+		for pi := range pos {
+			for ni := range neg {
+				ok, common := adjacent(&pos[pi], &neg[ni], dys, d, len(lineality), commonScratch[:0])
+				commonScratch = common
+				if !ok {
 					continue
 				}
-				// w = (p·y)·n − (n·y)·p lies on the hyperplane and in the cone.
-				pd := p.v.Dot(y)
-				nd := n.v.Dot(y)
-				w := n.v.Scale(pd)
-				negnd := new(big.Rat).Neg(nd)
-				w.AddScaled(negnd, p.v)
-				w = w.NormalizeIntegral()
-				if w.IsZero() {
+				// Tight at the new ray: indices tight at BOTH parents, plus mi.
+				tight := newBitset(len(ys))
+				for w := range tight {
+					tight[w] = pos[pi].tight[w] & neg[ni].tight[w]
+				}
+				tight.set(mi)
+				w, ok := combineRays(&pos[pi], &neg[ni], y, tight)
+				if !ok {
 					continue
 				}
-				t := map[int]bool{mi: true}
-				for k := range p.tight {
-					if n.tight[k] {
-						t[k] = true
-					}
-				}
-				next = append(next, ddRay{v: w, tight: t})
+				next = append(next, w)
 				if len(next) > ddMaxRays {
 					return nil, fmt.Errorf("cone: double description exceeded %d rays", ddMaxRays)
 				}
@@ -143,8 +371,8 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 
 	// Final minimality pass: drop any ray in the conic hull of the others.
 	vecs := make([]exact.Vec, len(rays))
-	for i, r := range rays {
-		vecs[i] = r.v
+	for i := range rays {
+		vecs[i] = rays[i].vec()
 	}
 	var out []exact.Vec
 	ws := simplex.NewWorkspace() // one tableau for the whole minimality pass
@@ -161,41 +389,40 @@ func dualExtremeRays(ys []exact.Vec, d int) ([]exact.Vec, error) {
 
 // adjacent implements the algebraic (rank-based) adjacency test: extreme
 // rays p and n of a cone with lineality dimension lin in ℝ^d are adjacent
-// iff the constraints tight at both have rank ≥ d − lin − 2. The rank test
-// never rejects a truly adjacent pair even when the working set carries
-// redundant rays, so no facet is ever lost; spurious combinations are
-// removed by the final LP minimality pass.
-func adjacent(p, n ddRay, ys []exact.Vec, d, lin int) bool {
+// iff the constraints tight at both have rank ≥ d − lin − 2. The bitset
+// AND+popcount pre-test rejects most pairs without touching any rational
+// arithmetic; the rank test never rejects a truly adjacent pair even when
+// the working set carries redundant rays, so no facet is ever lost —
+// spurious combinations are removed by the final LP minimality pass.
+// common is a reusable index scratch, returned for the caller to recycle.
+func adjacent(p, n *ddRay, ys []ddY, d, lin int, common []int) (bool, []int) {
 	need := d - lin - 2
 	if need <= 0 {
-		return true
+		return true, common
 	}
-	var rows []exact.Vec
-	for k := range p.tight {
-		if n.tight[k] {
-			rows = append(rows, ys[k])
-		}
+	if andCount(p.tight, n.tight) < need {
+		return false, common
 	}
-	if len(rows) < need {
-		return false
+	common = appendAnd(p.tight, n.tight, common)
+	rows := make([]exact.Vec, len(common))
+	for i, k := range common {
+		rows[i] = ys[k].v
 	}
-	return len(exact.RowSpaceBasis(rows)) >= need
+	return len(exact.RowSpaceBasis(rows)) >= need, common
 }
 
 func dedupeRays(rs []ddRay) []ddRay {
-	seen := map[string]int{}
+	seen := make(map[string]int, len(rs))
 	out := make([]ddRay, 0, len(rs))
-	for _, r := range rs {
-		k := r.v.Key()
-		if i, dup := seen[k]; dup {
+	for i := range rs {
+		k := rs[i].key()
+		if j, dup := seen[k]; dup {
 			// Merge tight sets (same geometric ray discovered twice).
-			for idx := range r.tight {
-				out[i].tight[idx] = true
-			}
+			out[j].tight.or(rs[i].tight)
 			continue
 		}
 		seen[k] = len(out)
-		out = append(out, r)
+		out = append(out, rs[i])
 	}
 	return out
 }

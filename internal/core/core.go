@@ -230,7 +230,15 @@ func (m *Model) RegionLP(p *simplex.Problem, r *stats.Region) error {
 			for k := 0; k < n; k++ {
 				dot += axis[k] * g[k]
 			}
-			if err := exact.SetRatFromFloat(upper[j], dot); err != nil {
+			// Materialise directly into the integer representation: the
+			// axes are snapped to a dyadic grid and the generators are
+			// small integers, so the dot is a small dyadic rational that
+			// the int64 kernel converts exactly without a big.Rat
+			// decomposition; SetRatFromFloat covers everything else with
+			// the identical value.
+			if r64, ok := exact.Rat64FromFloat(dot); ok {
+				r64.RatInto(upper[j])
+			} else if err := exact.SetRatFromFloat(upper[j], dot); err != nil {
 				return fmt.Errorf("core: model %q, axis %d: %w", m.Name, i, err)
 			}
 			lower[j].Set(upper[j])
@@ -241,11 +249,16 @@ func (m *Model) RegionLP(p *simplex.Problem, r *stats.Region) error {
 		}
 		// Quantise the slab bounds outward onto a coarse dyadic grid: the
 		// box only grows (never flips a verdict to infeasible), and the LP
-		// works with denominator-256 rationals instead of 2^52 ones.
-		if err := exact.QuantizeInto(hi, eDotMean+r.HalfWidths[i], true, lpQuantum); err != nil {
+		// works with denominator-256 rationals instead of 2^52 ones. The
+		// Rat64 fast path is bit-identical to QuantizeInto on its domain.
+		if q, ok := exact.Quantize64(eDotMean+r.HalfWidths[i], true, lpQuantum); ok {
+			q.RatInto(hi)
+		} else if err := exact.QuantizeInto(hi, eDotMean+r.HalfWidths[i], true, lpQuantum); err != nil {
 			return fmt.Errorf("core: model %q, axis %d upper bound: %w", m.Name, i, err)
 		}
-		if err := exact.QuantizeInto(lo, eDotMean-r.HalfWidths[i], false, lpQuantum); err != nil {
+		if q, ok := exact.Quantize64(eDotMean-r.HalfWidths[i], false, lpQuantum); ok {
+			q.RatInto(lo)
+		} else if err := exact.QuantizeInto(lo, eDotMean-r.HalfWidths[i], false, lpQuantum); err != nil {
 			return fmt.Errorf("core: model %q, axis %d lower bound: %w", m.Name, i, err)
 		}
 	}

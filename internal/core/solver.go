@@ -6,6 +6,12 @@ package core
 // verified over ℚ; anything unverifiable falls back to the exact solver,
 // so the hybrid's verdicts are bit-exact by construction — the exact
 // solver remains the oracle, it just stops being the common path.
+//
+// Both exact stages run on the int64 kernel (see internal/exact and
+// simplex/kernel.go): certificates are checked with overflow-checked Rat64
+// dot products, and exact solves run the integer-pivoting tableau,
+// promoting to big arithmetic per element on overflow. The kernel
+// fast-path and promotion counters below surface how often that happens.
 
 import (
 	"sync/atomic"
@@ -23,6 +29,12 @@ type SolverStats struct {
 	filterInfeasible atomic.Uint64
 	certFailures     atomic.Uint64
 	exactFallbacks   atomic.Uint64
+
+	kernelFastSolves     atomic.Uint64
+	kernelPromotedSolves atomic.Uint64
+	kernelPromotions     atomic.Uint64
+	certifyKernel        atomic.Uint64
+	certifyBigRat        atomic.Uint64
 }
 
 // SolverCounts is a point-in-time snapshot of SolverStats, shaped for JSON
@@ -41,6 +53,20 @@ type SolverCounts struct {
 	// the filter was disabled, the LP was below the filter's size gate,
 	// the filter was inconclusive, or certification failed.
 	ExactFallbacks uint64 `json:"exact_fallbacks"`
+
+	// KernelFastSolves counts exact-tier solves that completed entirely in
+	// overflow-checked int64 arithmetic; KernelPromotedSolves counts those
+	// that promoted at least one tableau element to big arithmetic, and
+	// KernelPromotions totals the element promotions. The promotion rate —
+	// never hidden — is the honesty metric of the int64 kernel: verdicts
+	// are bit-identical either way, promotions only cost speed.
+	KernelFastSolves     uint64 `json:"kernel_fast_solves"`
+	KernelPromotedSolves uint64 `json:"kernel_promoted_solves"`
+	KernelPromotions     uint64 `json:"kernel_promotions"`
+	// CertifyKernel / CertifyBigRat split certificate checks by arithmetic
+	// path: fully int64-kernel versus big.Rat fallback.
+	CertifyKernel uint64 `json:"certifications_int64"`
+	CertifyBigRat uint64 `json:"certifications_bigrat"`
 }
 
 // FilterHits is the number of evaluations the float tier settled.
@@ -49,24 +75,61 @@ func (c SolverCounts) FilterHits() uint64 { return c.FilterFeasible + c.FilterIn
 // Snapshot returns current counter values.
 func (s *SolverStats) Snapshot() SolverCounts {
 	return SolverCounts{
-		Evaluations:      s.evaluations.Load(),
-		FilterFeasible:   s.filterFeasible.Load(),
-		FilterInfeasible: s.filterInfeasible.Load(),
-		CertFailures:     s.certFailures.Load(),
-		ExactFallbacks:   s.exactFallbacks.Load(),
+		Evaluations:          s.evaluations.Load(),
+		FilterFeasible:       s.filterFeasible.Load(),
+		FilterInfeasible:     s.filterInfeasible.Load(),
+		CertFailures:         s.certFailures.Load(),
+		ExactFallbacks:       s.exactFallbacks.Load(),
+		KernelFastSolves:     s.kernelFastSolves.Load(),
+		KernelPromotedSolves: s.kernelPromotedSolves.Load(),
+		KernelPromotions:     s.kernelPromotions.Load(),
+		CertifyKernel:        s.certifyKernel.Load(),
+		CertifyBigRat:        s.certifyBigRat.Load(),
 	}
 }
 
-// Solver bundles the exact LP workspace with the optional float filter and
-// a telemetry sink. Like its workspaces it is not safe for concurrent use;
-// pool one per worker. The zero value (or a nil *Solver) behaves as a
-// fresh exact-only solver.
+// noteCertify records which arithmetic path a certificate check took.
+func (s *SolverStats) noteCertify(cert *simplex.Certifier) {
+	if s == nil {
+		return
+	}
+	if cert.LastKernel() {
+		s.certifyKernel.Add(1)
+	} else {
+		s.certifyBigRat.Add(1)
+	}
+}
+
+// noteExactSolve records the kernel telemetry of an exact-tier solve.
+func (s *SolverStats) noteExactSolve(ws *simplex.Workspace) {
+	if s == nil {
+		return
+	}
+	kernel, promotions := ws.LastSolveKernel()
+	if !kernel {
+		return
+	}
+	if promotions == 0 {
+		s.kernelFastSolves.Add(1)
+	} else {
+		s.kernelPromotedSolves.Add(1)
+		s.kernelPromotions.Add(promotions)
+	}
+}
+
+// Solver bundles the exact LP workspace with the optional float filter, a
+// certificate-checking scratch and a telemetry sink. Like its workspaces
+// it is not safe for concurrent use; pool one per worker. The zero value
+// (or a nil *Solver) behaves as a fresh exact-only solver.
 type Solver struct {
 	// Exact is the rational simplex workspace — the authoritative tier.
 	// nil allocates a fresh workspace on first use.
 	Exact *simplex.Workspace
 	// Filter is the float64 revised-simplex tier; nil forces exact mode.
 	Filter *floatlp.Workspace
+	// Cert holds the certificate checker's kernel scratch; nil allocates
+	// one on first use.
+	Cert *simplex.Certifier
 	// Stats, when non-nil, receives per-evaluation telemetry.
 	Stats *SolverStats
 }
@@ -74,22 +137,36 @@ type Solver struct {
 // NewSolver returns a hybrid solver with fresh workspaces reporting into
 // stats (which may be nil).
 func NewSolver(stats *SolverStats) *Solver {
-	return &Solver{Exact: simplex.NewWorkspace(), Filter: floatlp.NewWorkspace(), Stats: stats}
+	return &Solver{
+		Exact:  simplex.NewWorkspace(),
+		Filter: floatlp.NewWorkspace(),
+		Cert:   simplex.NewCertifier(),
+		Stats:  stats,
+	}
 }
 
 // filterMinSize gates the float tier by LP size (variables × rows). Below
-// it the exact simplex on small rationals beats the filter's convert +
-// solve + certify round trip (measured crossover: the 2-counter corpus
-// model loses ~2× at size 8, the Ret counter-group LP wins ~3× at size
-// 32), so tiny LPs go straight to the exact tier.
-const filterMinSize = 16
+// it the exact simplex beats the filter's convert + solve + certify round
+// trip. The int64 kernel moved the crossover sharply upward: on the Fig 9a
+// groups the kernel's exact tier now wins ~1.7× at size 32 (Ret) and ties
+// at size 320 (L2TLB), while the filter still wins ~2.6× at size 2420
+// (Walk), so mid-size LPs go straight to the exact tier too.
+const filterMinSize = 512
 
-// exact returns the exact workspace, allocating one on first use.
+// exactWS returns the exact workspace, allocating one on first use.
 func (s *Solver) exactWS() *simplex.Workspace {
 	if s.Exact == nil {
 		s.Exact = simplex.NewWorkspace()
 	}
 	return s.Exact
+}
+
+// certifier returns the certificate scratch, allocating one on first use.
+func (s *Solver) certifier() *simplex.Certifier {
+	if s.Cert == nil {
+		s.Cert = simplex.NewCertifier()
+	}
+	return s.Cert
 }
 
 // Feasible decides whether p is feasible. The float tier runs first (when
@@ -106,22 +183,28 @@ func (s *Solver) Feasible(p *simplex.Problem) bool {
 	if s.Filter != nil && p.NumVars*len(p.Constraints) >= filterMinSize {
 		switch out := s.Filter.Feasibility(p); out.Status {
 		case floatlp.Feasible:
-			if simplex.CertifyPoint(p, out.Point) {
+			cert := s.certifier()
+			if cert.CertifyPoint(p, out.Point) {
+				s.Stats.noteCertify(cert)
 				if s.Stats != nil {
 					s.Stats.filterFeasible.Add(1)
 				}
 				return true
 			}
+			s.Stats.noteCertify(cert)
 			if s.Stats != nil {
 				s.Stats.certFailures.Add(1)
 			}
 		case floatlp.Infeasible:
-			if simplex.CertifyFarkas(p, out.Ray) {
+			cert := s.certifier()
+			if cert.CertifyFarkas(p, out.Ray) {
+				s.Stats.noteCertify(cert)
 				if s.Stats != nil {
 					s.Stats.filterInfeasible.Add(1)
 				}
 				return false
 			}
+			s.Stats.noteCertify(cert)
 			if s.Stats != nil {
 				s.Stats.certFailures.Add(1)
 			}
@@ -130,5 +213,8 @@ func (s *Solver) Feasible(p *simplex.Problem) bool {
 	if s.Stats != nil {
 		s.Stats.exactFallbacks.Add(1)
 	}
-	return s.exactWS().SolveStatus(p) == simplex.Optimal
+	ws := s.exactWS()
+	feasible := ws.SolveStatus(p) == simplex.Optimal
+	s.Stats.noteExactSolve(ws)
+	return feasible
 }

@@ -84,13 +84,14 @@ type lpKey struct {
 	region *stats.Region
 }
 
-// evalScratch is the per-worker reusable state: the exact LP workspace and
-// the float-filter workspace of the two-tier solver. Pooled rather than
-// per-worker so Session.Test (which runs inline, off-pool) can borrow one
-// too.
+// evalScratch is the per-worker reusable state: the exact LP workspace,
+// the float-filter workspace of the two-tier solver, and the certificate
+// checker's int64-kernel scratch. Pooled rather than per-worker so
+// Session.Test (which runs inline, off-pool) can borrow one too.
 type evalScratch struct {
-	ws *simplex.Workspace
-	fl *floatlp.Workspace
+	ws   *simplex.Workspace
+	fl   *floatlp.Workspace
+	cert *simplex.Certifier
 }
 
 // Option configures an Engine.
@@ -124,7 +125,11 @@ func New(opts ...Option) *Engine {
 		o(e)
 	}
 	e.scratch.New = func() any {
-		return &evalScratch{ws: simplex.NewWorkspace(), fl: floatlp.NewWorkspace()}
+		return &evalScratch{
+			ws:   simplex.NewWorkspace(),
+			fl:   floatlp.NewWorkspace(),
+			cert: simplex.NewCertifier(),
+		}
 	}
 	e.tasks = make(chan func())
 	e.wg.Add(e.workers)

@@ -169,7 +169,7 @@ func (s *Session) test(sc *evalScratch, o *counters.Observation) (*core.Verdict,
 			return nil, err
 		}
 	}
-	sv := core.Solver{Exact: sc.ws, Filter: sc.fl, Stats: s.eng.solver}
+	sv := core.Solver{Exact: sc.ws, Filter: sc.fl, Cert: sc.cert, Stats: s.eng.solver}
 	if s.cfg.ForceExact {
 		sv.Filter = nil
 	}

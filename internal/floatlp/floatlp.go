@@ -174,6 +174,55 @@ func growInt(s []int, n int) []int {
 	return s[:n]
 }
 
+// int64Exact reports whether x converts to float64 without rounding.
+func int64Exact(x int64) bool { return x >= -(1<<53) && x <= 1<<53 }
+
+// loadRow fills row with constraint i's float64 coefficients and returns
+// the row's max magnitude and right-hand side. It prefers the problem's
+// int64 kernel snapshot — one correctly-rounded IEEE division per entry,
+// bit-identical to big.Rat.Float64 on exactly-converting values and free
+// of the big.Rat conversion allocations — falling back to big.Rat per row.
+// ok=false flags a non-finite coefficient.
+func loadRow(p *simplex.Problem, i int, row []float64) (maxAbs, rhs float64, ok bool) {
+	con := &p.Constraints[i]
+	if kc, krhs, snap := p.SnapshotRow(i); snap && int64Exact(kc.Den) {
+		den := float64(kc.Den)
+		fast := true
+		for j := range row {
+			num := kc.Num[j]
+			if !int64Exact(num) {
+				fast = false
+				break
+			}
+			v := float64(num) / den
+			row[j] = v
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if fast {
+			// Snapshot values are finite by construction.
+			return maxAbs, krhs.Float64(), true
+		}
+		maxAbs = 0
+	}
+	for j := range row {
+		v, _ := con.Coeffs[j].Float64()
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, 0, false
+		}
+		row[j] = v
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	rhs, _ = con.RHS.Float64()
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return 0, 0, false
+	}
+	return maxAbs, rhs, true
+}
+
 // load converts p into row-equilibrated float64 form. It fails (→
 // Inconclusive) on non-finite values, which the exact solver handles by
 // its own rules.
@@ -208,19 +257,8 @@ func (w *Workspace) load(p *simplex.Problem) bool {
 	for i := range p.Constraints {
 		con := &p.Constraints[i]
 		row := w.coef[i*w.nVars : (i+1)*w.nVars]
-		maxAbs := 0.0
-		for j := 0; j < w.nVars; j++ {
-			v, _ := con.Coeffs[j].Float64()
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return false
-			}
-			row[j] = v
-			if a := math.Abs(v); a > maxAbs {
-				maxAbs = a
-			}
-		}
-		rhs, _ := con.RHS.Float64()
-		if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		maxAbs, rhs, ok := loadRow(p, i, row)
+		if !ok {
 			return false
 		}
 		// Row equilibration: divide by ‖aᵢ‖∞ so coefficients are O(1) and

@@ -16,6 +16,12 @@ type statsResp struct {
 	FilterHits       uint64 `json:"filter_hits"`
 	Models           int    `json:"models"`
 	Workers          int    `json:"workers"`
+
+	KernelFastSolves     uint64 `json:"kernel_fast_solves"`
+	KernelPromotedSolves uint64 `json:"kernel_promoted_solves"`
+	KernelPromotions     uint64 `json:"kernel_promotions"`
+	CertifyKernel        uint64 `json:"certifications_int64"`
+	CertifyBigRat        uint64 `json:"certifications_bigrat"`
 }
 
 func getStats(t *testing.T, base string) statsResp {
@@ -62,6 +68,16 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if s1.FilterHits+s1.ExactFallbacks != s1.Evaluations {
 		t.Fatalf("counters don't partition: %+v", s1)
+	}
+	// The int64 kernel accounts for every exact-tier solve, and the
+	// promotion (overflow fallback) rate is reported, never hidden.
+	if s1.KernelFastSolves+s1.KernelPromotedSolves != s1.ExactFallbacks {
+		t.Fatalf("kernel counters don't cover exact solves: %+v", s1)
+	}
+	// Certification counters partition the certificate checks (one per
+	// filter hit or certification failure).
+	if s1.CertifyKernel+s1.CertifyBigRat != s1.FilterHits+s1.CertFailures {
+		t.Fatalf("certification counters don't partition: %+v", s1)
 	}
 
 	// Forcing exact mode per request must add only exact fallbacks.

@@ -4,14 +4,24 @@ package simplex
 //
 // The float64 revised simplex in internal/floatlp is fast but inexact: its
 // verdicts are treated as *claims*, each backed by a certificate that this
-// file verifies over ℚ using rational dot products only — no pivoting, no
+// file verifies over ℚ using dot products only — no pivoting, no
 // elimination. A FEASIBLE claim carries a candidate point, an INFEASIBLE
 // claim a Farkas dual ray. Certificates are rounded from float64 onto
-// nearby small rationals (exact.SimplestRatWithin) before checking, so
-// candidates whose true values are simple rationals survive verification;
-// anything that does not check out exactly is rejected, and the caller
-// falls back to the exact solver. Verdicts therefore remain bit-exact by
-// construction regardless of floating-point behaviour.
+// nearby small rationals (exact.SimplestRatWithin and its int64 twin)
+// before checking, so candidates whose true values are simple rationals
+// survive verification; anything that does not check out exactly is
+// rejected, and the caller falls back to the exact solver. Verdicts
+// therefore remain bit-exact by construction regardless of floating-point
+// behaviour.
+//
+// The hot path runs on the int64 kernel: candidate coordinates round
+// through exact.SimplestRat64Within, constraint rows come from the
+// Problem's cached Vec64 snapshot (intForm), and every dot product is an
+// overflow-checked exact.Rat64 accumulation. On the first overflow — or a
+// row whose coefficients do not fit int64 — the certification falls back
+// to the big.Rat implementation wholesale, with identical results (both
+// paths compute the same exact rationals). A Certifier carries the scratch
+// buffers; pool one per worker (the engine's evalScratch does).
 
 import (
 	"math"
@@ -38,14 +48,266 @@ const farkasRoundTol = 1e-9
 // which a ray entry is snapped to zero before rounding.
 const farkasSnapTol = 1e-9
 
+// Certifier verifies float-tier certificates over the int64 kernel,
+// holding the rounded-candidate and accumulator scratch — including the
+// retained big.Rat storage of the per-row fallback — so a pooled instance
+// certifies without allocating. Not safe for concurrent use.
+type Certifier struct {
+	xs []exact.Rat64 // rounded candidate point / ray multipliers
+	d  []exact.Rat64 // Farkas combination accumulator
+
+	bigX     exact.Vec // retained big.Rat image of xs (built on demand)
+	bsum, bt *big.Rat  // retained dot-product scratch
+
+	// Retained big.Int scratch of the gcd-free row comparison (the
+	// second-tier fallback for int64 rows whose dot accumulator overflows).
+	sn, sd, bt1, bt2 *big.Int
+
+	// lastKernel reports whether the previous certification ran fully on
+	// the int64 kernel (telemetry; see core.SolverStats).
+	lastKernel bool
+}
+
+// NewCertifier returns an empty certifier.
+func NewCertifier() *Certifier { return &Certifier{} }
+
+// LastKernel reports whether the previous Certify call completed without
+// falling back to big.Rat arithmetic.
+func (c *Certifier) LastKernel() bool { return c.lastKernel }
+
+func (c *Certifier) scratch(n int) []exact.Rat64 {
+	if cap(c.xs) < n {
+		c.xs = make([]exact.Rat64, n)
+	}
+	c.xs = c.xs[:n]
+	return c.xs
+}
+
+func (c *Certifier) accum(n int) []exact.Rat64 {
+	if cap(c.d) < n {
+		c.d = make([]exact.Rat64, n)
+	}
+	c.d = c.d[:n]
+	zero := exact.Rat64FromInt64(0)
+	for i := range c.d {
+		c.d[i] = zero
+	}
+	return c.d
+}
+
+// materializeBigX writes xs into the retained big.Rat vector and returns it.
+func (c *Certifier) materializeBigX(xs []exact.Rat64) exact.Vec {
+	for len(c.bigX) < len(xs) {
+		c.bigX = append(c.bigX, new(big.Rat))
+	}
+	bx := c.bigX[:len(xs)]
+	for j := range xs {
+		xs[j].RatInto(bx[j])
+	}
+	return bx
+}
+
+// rowCmpBig compares (Σⱼ Numⱼ·xsⱼ)/Den with the row's right-hand side for
+// an int64 row whose dot overflowed the Rat64 accumulator. The sum is
+// accumulated gcd-free over big.Int (sn/sd with sd = product of the
+// multipliers' denominators) in retained scratch, and the comparison
+// cross-multiplies — no big.Rat normalisation, no steady-state allocation.
+func (c *Certifier) rowCmpBig(ir *intRow, xs []exact.Rat64) int {
+	if c.sn == nil {
+		c.sn = new(big.Int)
+		c.sd = new(big.Int)
+		c.bt1 = new(big.Int)
+		c.bt2 = new(big.Int)
+	}
+	c.sn.SetInt64(0)
+	c.sd.SetInt64(1)
+	for j, num := range ir.coeffs.Num {
+		x := xs[j]
+		if num == 0 || x.Num() == 0 {
+			continue
+		}
+		// sn/sd += num·x  ⇒  sn = sn·xd + num·xn·sd, sd = sd·xd.
+		c.bt1.SetInt64(num)
+		c.bt2.SetInt64(x.Num())
+		c.bt1.Mul(c.bt1, c.bt2)
+		c.bt1.Mul(c.bt1, c.sd)
+		c.bt2.SetInt64(x.Den())
+		c.sn.Mul(c.sn, c.bt2)
+		c.sn.Add(c.sn, c.bt1)
+		c.sd.Mul(c.sd, c.bt2)
+	}
+	// sn/(sd·Den) vs rhsN/rhsD  ⇔  sn·rhsD vs rhsN·sd·Den (denominators
+	// positive throughout).
+	c.bt1.SetInt64(ir.coeffs.Den)
+	c.bt1.Mul(c.bt1, c.sd)
+	c.bt2.SetInt64(ir.rhs.Num())
+	c.bt1.Mul(c.bt1, c.bt2)
+	c.bt2.SetInt64(ir.rhs.Den())
+	c.bt2.Mul(c.bt2, c.sn)
+	return c.bt2.Cmp(c.bt1)
+}
+
+// bigDot computes coeffs·x into the retained scratch and returns it.
+func (c *Certifier) bigDot(coeffs, x exact.Vec) *big.Rat {
+	if c.bsum == nil {
+		c.bsum = new(big.Rat)
+		c.bt = new(big.Rat)
+	}
+	c.bsum.SetInt64(0)
+	for i := range coeffs {
+		if coeffs[i].Sign() == 0 || x[i].Sign() == 0 {
+			continue
+		}
+		c.bt.Mul(coeffs[i], x[i])
+		c.bsum.Add(c.bsum, c.bt)
+	}
+	return c.bsum
+}
+
+// checkPointKernel checks the rounded candidate xs against p: int64 dot
+// products on the intForm rows, with a per-row big.Rat fallback (retained
+// scratch, identical exact values) for rows too wide for the kernel.
+func (c *Certifier) checkPointKernel(p *Problem, xs []exact.Rat64) bool {
+	for j := range xs {
+		if (p.Free == nil || !p.Free[j]) && xs[j].Sign() < 0 {
+			return false
+		}
+	}
+	iform := p.intForm()
+	var bx exact.Vec
+	for i := range p.Constraints {
+		ir := &iform.rows[i]
+		var cmp int
+		switch {
+		case ir.ok:
+			if dot, ok := ir.coeffs.DotRat64s(xs); ok {
+				cmp = dot.Cmp(ir.rhs)
+			} else {
+				// int64 row, overflowing accumulator: gcd-free big.Int
+				// comparison in retained scratch.
+				c.lastKernel = false
+				cmp = c.rowCmpBig(ir, xs)
+			}
+		default:
+			if bx == nil {
+				bx = c.materializeBigX(xs)
+			}
+			c.lastKernel = false
+			con := &p.Constraints[i]
+			cmp = c.bigDot(con.Coeffs, bx).Cmp(con.RHS)
+		}
+		switch p.Constraints[i].Rel {
+		case LE:
+			if cmp > 0 {
+				return false
+			}
+		case GE:
+			if cmp < 0 {
+				return false
+			}
+		case EQ:
+			if cmp != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// kernelCheckFarkas checks the rounded multipliers rq against p on the
+// int64 kernel; decided=false sends the caller to the big.Rat path.
+func (c *Certifier) kernelCheckFarkas(p *Problem, rq []exact.Rat64) (verdict, decided bool) {
+	if len(rq) != len(p.Constraints) || len(rq) == 0 {
+		return false, true
+	}
+	for i := range p.Constraints {
+		s := rq[i].Sign()
+		switch p.Constraints[i].Rel {
+		case LE:
+			if s > 0 {
+				return false, true
+			}
+		case GE:
+			if s < 0 {
+				return false, true
+			}
+		}
+	}
+	iform := p.intForm()
+	d := c.accum(p.NumVars)
+	rhs := exact.Rat64FromInt64(0)
+	for i := range p.Constraints {
+		if rq[i].Sign() == 0 {
+			continue
+		}
+		ir := &iform.rows[i]
+		if !ir.ok {
+			return false, false
+		}
+		qd, ok := rq[i].Quo(exact.Rat64FromInt64(ir.coeffs.Den))
+		if !ok {
+			return false, false
+		}
+		for j, num := range ir.coeffs.Num {
+			if num == 0 {
+				continue
+			}
+			t, ok := qd.MulInt(num)
+			if !ok {
+				return false, false
+			}
+			d[j], ok = d[j].Add(t)
+			if !ok {
+				return false, false
+			}
+		}
+		t, ok := rq[i].Mul(ir.rhs)
+		if !ok {
+			return false, false
+		}
+		rhs, ok = rhs.Add(t)
+		if !ok {
+			return false, false
+		}
+	}
+	if rhs.Sign() <= 0 {
+		return false, true
+	}
+	for j := range d {
+		if p.Free != nil && p.Free[j] {
+			if d[j].Sign() != 0 {
+				return false, true
+			}
+		} else if d[j].Sign() > 0 {
+			return false, true
+		}
+	}
+	return true, true
+}
+
 // CheckPoint reports whether x is an exact feasibility witness for p: it
 // has length p.NumVars, respects the non-negativity of every non-free
-// variable, and satisfies every constraint exactly. Rational dot products
-// only; p is not mutated.
+// variable, and satisfies every constraint exactly. Dot products only; p
+// is not mutated. Runs on the int64 kernel when x and the constraint rows
+// fit, with a bit-identical big.Rat fallback otherwise.
 func CheckPoint(p *Problem, x exact.Vec) bool {
 	if len(x) != p.NumVars {
 		return false
 	}
+	var c Certifier
+	xs := c.scratch(len(x))
+	for j, v := range x {
+		r, ok := exact.Rat64FromRat(v)
+		if !ok {
+			return checkPointBig(p, x)
+		}
+		xs[j] = r
+	}
+	return c.checkPointKernel(p, xs)
+}
+
+// checkPointBig is the big.Rat reference implementation of CheckPoint.
+func checkPointBig(p *Problem, x exact.Vec) bool {
 	for j, v := range x {
 		if (p.Free == nil || !p.Free[j]) && v.Sign() < 0 {
 			return false
@@ -81,8 +343,33 @@ func CheckPoint(p *Problem, x exact.Vec) bool {
 //
 // Multiplying each constraint by its qᵢ and summing shows d·x ≥ Σ qᵢbᵢ > 0
 // for any x in p's feasible set, while the sign conditions force d·x ≤ 0 —
-// a contradiction, so no feasible x exists. Rational dot products only.
+// a contradiction, so no feasible x exists. Runs on the int64 kernel when
+// everything fits, with a bit-identical big.Rat fallback.
 func CheckFarkas(p *Problem, ray exact.Vec) bool {
+	if len(ray) != len(p.Constraints) || len(ray) == 0 {
+		return false
+	}
+	var c Certifier
+	rq := c.scratch(len(ray))
+	fits := true
+	for i, v := range ray {
+		r, ok := exact.Rat64FromRat(v)
+		if !ok {
+			fits = false
+			break
+		}
+		rq[i] = r
+	}
+	if fits {
+		if verdict, decided := c.kernelCheckFarkas(p, rq); decided {
+			return verdict
+		}
+	}
+	return checkFarkasBig(p, ray)
+}
+
+// checkFarkasBig is the big.Rat reference implementation of CheckFarkas.
+func checkFarkasBig(p *Problem, ray exact.Vec) bool {
 	if len(ray) != len(p.Constraints) || len(ray) == 0 {
 		return false
 	}
@@ -130,15 +417,39 @@ func CheckFarkas(p *Problem, ray exact.Vec) bool {
 // checks it exactly against p. It returns ok=false (never a wrong verdict)
 // when the rounded point fails any constraint — the caller's cue to fall
 // back to the exact solver.
-func CertifyPoint(p *Problem, x []float64) bool {
+func (c *Certifier) CertifyPoint(p *Problem, x []float64) bool {
+	c.lastKernel = false
 	if len(x) != p.NumVars {
 		return false
 	}
-	rx := make(exact.Vec, len(x))
+	xs := c.scratch(len(x))
+	fits := true
 	for j, v := range x {
 		if v < 0 && (p.Free == nil || !p.Free[j]) {
 			// Float vertices sit on x ≥ 0 bounds up to round-off; a tiny
 			// negative is the solver's zero.
+			v = 0
+		}
+		r, ok := exact.SimplestRat64Within(v, pointRoundTol*(1+math.Abs(v)))
+		if !ok {
+			fits = false
+			break
+		}
+		xs[j] = r
+	}
+	if fits {
+		c.lastKernel = true // checkPointKernel clears it on a row fallback
+		return c.checkPointKernel(p, xs)
+	}
+	return certifyPointBig(p, x)
+}
+
+// certifyPointBig is the big.Rat path: identical rounding (the int64
+// rounding is a verified twin of SimplestRatWithin) and reference checks.
+func certifyPointBig(p *Problem, x []float64) bool {
+	rx := make(exact.Vec, len(x))
+	for j, v := range x {
+		if v < 0 && (p.Free == nil || !p.Free[j]) {
 			v = 0
 		}
 		r, err := exact.SimplestRatWithin(v, pointRoundTol*(1+math.Abs(v)))
@@ -147,14 +458,15 @@ func CertifyPoint(p *Problem, x []float64) bool {
 		}
 		rx[j] = r
 	}
-	return CheckPoint(p, rx)
+	return checkPointBig(p, rx)
 }
 
 // CertifyFarkas normalises and rounds a float64 Farkas ray, then checks it
 // exactly against p. Entries tiny relative to the largest multiplier, or
 // carrying the wrong sign for their row, are snapped to zero first (both
 // are float noise; zero multipliers are always sign-admissible).
-func CertifyFarkas(p *Problem, ray []float64) bool {
+func (c *Certifier) CertifyFarkas(p *Problem, ray []float64) bool {
+	c.lastKernel = false
 	if len(ray) != len(p.Constraints) {
 		return false
 	}
@@ -167,27 +479,69 @@ func CertifyFarkas(p *Problem, ray []float64) bool {
 	if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		return false
 	}
+	rq := c.scratch(len(ray))
+	fits := true
+	for i, q := range ray {
+		q = snapFarkasEntry(p, i, q/scale)
+		r, ok := exact.SimplestRat64Within(q, farkasRoundTol*(1+math.Abs(q)))
+		if !ok {
+			fits = false
+			break
+		}
+		rq[i] = r
+	}
+	if fits {
+		if verdict, decided := c.kernelCheckFarkas(p, rq); decided {
+			c.lastKernel = true
+			return verdict
+		}
+		return checkFarkasBig(p, c.materializeBigX(rq))
+	}
+	return certifyFarkasBig(p, ray, scale)
+}
+
+// snapFarkasEntry applies the float-noise snapping shared by both paths.
+func snapFarkasEntry(p *Problem, i int, q float64) float64 {
+	if math.Abs(q) < farkasSnapTol {
+		return 0
+	}
+	switch p.Constraints[i].Rel {
+	case LE:
+		if q > 0 {
+			return 0
+		}
+	case GE:
+		if q < 0 {
+			return 0
+		}
+	}
+	return q
+}
+
+// certifyFarkasBig is the big.Rat path of CertifyFarkas.
+func certifyFarkasBig(p *Problem, ray []float64, scale float64) bool {
 	rq := make(exact.Vec, len(ray))
 	for i, q := range ray {
-		q /= scale
-		if math.Abs(q) < farkasSnapTol {
-			q = 0
-		}
-		switch p.Constraints[i].Rel {
-		case LE:
-			if q > 0 {
-				q = 0
-			}
-		case GE:
-			if q < 0 {
-				q = 0
-			}
-		}
+		q = snapFarkasEntry(p, i, q/scale)
 		r, err := exact.SimplestRatWithin(q, farkasRoundTol*(1+math.Abs(q)))
 		if err != nil {
 			return false
 		}
 		rq[i] = r
 	}
-	return CheckFarkas(p, rq)
+	return checkFarkasBig(p, rq)
+}
+
+// CertifyPoint is the pooled-scratch-free convenience form of
+// Certifier.CertifyPoint; hot paths hold a Certifier instead.
+func CertifyPoint(p *Problem, x []float64) bool {
+	var c Certifier
+	return c.CertifyPoint(p, x)
+}
+
+// CertifyFarkas is the pooled-scratch-free convenience form of
+// Certifier.CertifyFarkas; hot paths hold a Certifier instead.
+func CertifyFarkas(p *Problem, ray []float64) bool {
+	var c Certifier
+	return c.CertifyFarkas(p, ray)
 }

@@ -1,0 +1,844 @@
+package simplex
+
+// The int64 kernel tableau: the default execution engine of the exact
+// simplex, built on integer pivoting (the fraction-free scheme used by
+// exact vertex-enumeration codes such as lrs). Instead of a big.Rat matrix
+// the kernel keeps the scaled integer tableau
+//
+//	T = Δ·B⁻¹·A,  β = Δ·B⁻¹·b,  Δ > 0
+//
+// where Δ is a single positive scalar (the previous pivot element). Every
+// true tableau value is T[i][j]/Δ, so every sign test is a sign test on an
+// integer, the minimum-ratio test compares cross products, and a pivot at
+// (r, c) is the rank-one integer update
+//
+//	T'[i][j] = (T[i][j]·T[r][c] − T[i][c]·T[r][j]) / Δ   (i ≠ r)
+//
+// whose division is exact (the entries are determinants of integer
+// submatrices, Edmonds' theorem); the pivot row itself is left unchanged
+// and Δ' = T[r][c]. No GCD normalisation ever runs — the dominant cost of
+// the big.Rat tableau (big.Rat.Mul/Sub call lehmerGCD on every operation).
+//
+// Entries are adaptive integers: overflow-checked int64 words (math/bits)
+// that promote, per element, to a retained *big.Int on the first operation
+// whose exact result leaves the int64 range, and demote as soon as a
+// result fits again. Rows are materialised from the Problem's cached
+// Vec64/Rat64 snapshot (intForm); constraint rows are pre-scaled to
+// integers, which is an equivalence transformation (row scaling by the
+// positive common denominator), so the reduced-cost signs, ratio
+// comparisons and Bland pivot sequence — and therefore every verdict and
+// solution — are bit-identical to the big.Rat reference tableau.
+// Workspace.ForceBigRat routes a solve through that reference instead; the
+// differential tests pin the two paths against each other.
+
+import (
+	"math"
+	"math/big"
+	"math/bits"
+
+	"repro/internal/exact"
+)
+
+// ient is one adaptive integer element of the kernel tableau.
+type ient struct {
+	v    int64
+	wide bool     // value lives in b, not v
+	b    *big.Int // retained promotion storage, allocated on first promotion
+}
+
+func (e *ient) sign() int {
+	if e.wide {
+		return e.b.Sign()
+	}
+	switch {
+	case e.v > 0:
+		return 1
+	case e.v < 0:
+		return -1
+	}
+	return 0
+}
+
+func (e *ient) setInt(v int64) {
+	e.v = v
+	e.wide = false
+}
+
+// view returns e's value as a *big.Int, materialising small values into tmp.
+func (e *ient) view(tmp *big.Int) *big.Int {
+	if e.wide {
+		return e.b
+	}
+	return tmp.SetInt64(e.v)
+}
+
+// rat writes e's value divided by delta into dst (reduced by SetFrac).
+func (e *ient) rat(dst *big.Rat, delta *ient, t1, t2 *big.Int) *big.Rat {
+	return dst.SetFrac(e.view(t1), delta.view(t2))
+}
+
+// intRow is one LP constraint in kernel form: the coefficient vector with a
+// common denominator, plus the right-hand side. ok=false keeps the big.Rat
+// row authoritative (a coefficient or the RHS did not fit int64).
+type intRow struct {
+	coeffs exact.Vec64
+	rhs    exact.Rat64
+	ok     bool
+}
+
+// intForm is an immutable int64 snapshot of a Problem's constraint system,
+// cached on the Problem and invalidated by the mutation generation counter.
+// Solving never mutates a Problem, so concurrent solvers may share one
+// snapshot; rebuilding races are benign (last store wins, all stores agree).
+type intForm struct {
+	gen  uint64
+	rows []intRow
+}
+
+// intForm returns the problem's kernel snapshot, building it on first use
+// after each mutation.
+func (p *Problem) intForm() *intForm {
+	if f := p.iform.Load(); f != nil && f.gen == p.gen {
+		return f
+	}
+	f := &intForm{gen: p.gen, rows: make([]intRow, len(p.Constraints))}
+	for i := range p.Constraints {
+		con := &p.Constraints[i]
+		v, ok := exact.Vec64FromVec(con.Coeffs)
+		if !ok {
+			continue
+		}
+		rhs, ok := exact.Rat64FromRat(con.RHS)
+		if !ok {
+			continue
+		}
+		f.rows[i] = intRow{coeffs: v, rhs: rhs, ok: true}
+	}
+	p.iform.Store(f)
+	return f
+}
+
+// Invalidate marks the problem's cached kernel snapshot stale. Reset,
+// GrowConstraint and AddConstraint call it automatically; callers that
+// mutate Constraints or RHS storage directly must call it before the next
+// solve.
+func (p *Problem) Invalidate() { p.gen++ }
+
+// SnapshotRow returns the int64-kernel form of constraint i from the
+// problem's cached snapshot: the coefficient vector in common-denominator
+// form plus the right-hand side. ok is false when the row does not fit
+// int64 — callers fall back to the big.Rat Constraints[i]. The returned
+// vector shares the snapshot's storage; treat it as read-only.
+func (p *Problem) SnapshotRow(i int) (coeffs exact.Vec64, rhs exact.Rat64, ok bool) {
+	ir := &p.intForm().rows[i]
+	return ir.coeffs, ir.rhs, ir.ok
+}
+
+// ktab is the kernel tableau. Like the big.Rat tableau it lives inside a
+// Workspace and reuses its row storage (including each element's retained
+// big.Int promotion slot) across solves.
+type ktab struct {
+	a      [][]ient // scaled tableau T = Δ·B⁻¹·A
+	b      []ient   // scaled right-hand side β = Δ·B⁻¹·b
+	c      []ient   // integer cost row (positively scaled objective)
+	r      []ient   // maintained scaled reduced costs Δ·λ·(c − c_B·B⁻¹A)
+	delta  ient     // Δ, the previous pivot element; always > 0
+	basis  []int
+	basic  []bool // basic-column flags for O(1) scan lookup
+	n, m   int
+	frozen int
+
+	// promotions counts element promotions (small operands whose exact
+	// result left the int64 range) in the current solve.
+	promotions uint64
+
+	rows     [][]ient // arena of ient rows, reused in call order
+	rowsUsed int
+
+	t1, t2, t3, t4 *big.Int // scratch for mixed-representation operations
+}
+
+func (k *ktab) initScratch() {
+	if k.t1 == nil {
+		k.t1 = new(big.Int)
+		k.t2 = new(big.Int)
+		k.t3 = new(big.Int)
+		k.t4 = new(big.Int)
+	}
+}
+
+// row returns a zeroed ient row of length n backed by the arena.
+func (k *ktab) row(n int) []ient {
+	var r []ient
+	if k.rowsUsed < len(k.rows) {
+		r = k.rows[k.rowsUsed]
+		if cap(r) < n {
+			r = make([]ient, n)
+		}
+		r = r[:n]
+		k.rows[k.rowsUsed] = r
+		k.rowsUsed++
+		for i := range r {
+			r[i].setInt(0)
+		}
+		return r
+	}
+	r = make([]ient, n)
+	k.rows = append(k.rows, r)
+	k.rowsUsed++
+	return r
+}
+
+// settle stores the value of dst.b into dst, demoting to the int64
+// representation when it fits.
+func (k *ktab) settle(dst *ient) {
+	if dst.b.IsInt64() {
+		dst.v = dst.b.Int64()
+		dst.wide = false
+		return
+	}
+	dst.wide = true
+}
+
+func (k *ktab) ensureBig(dst *ient) *big.Int {
+	if dst.b == nil {
+		dst.b = new(big.Int)
+	}
+	return dst.b
+}
+
+// set copies src's value into dst.
+func (k *ktab) set(dst, src *ient) {
+	if !src.wide {
+		dst.v = src.v
+		dst.wide = false
+		return
+	}
+	k.ensureBig(dst).Set(src.b)
+	dst.wide = true
+}
+
+// setBig stores an arbitrary big.Int value.
+func (k *ktab) setBig(dst *ient, v *big.Int) {
+	if v.IsInt64() {
+		dst.v = v.Int64()
+		dst.wide = false
+		return
+	}
+	k.ensureBig(dst).Set(v)
+	dst.wide = true
+}
+
+// neg sets dst = −dst.
+func (k *ktab) neg(dst *ient) {
+	if !dst.wide {
+		if dst.v != math.MinInt64 {
+			dst.v = -dst.v
+			return
+		}
+		k.promotions++
+		k.ensureBig(dst).SetInt64(dst.v)
+		dst.wide = true
+	}
+	dst.b.Neg(dst.b)
+	k.settle(dst)
+}
+
+// pivotUpdate sets dst = (x·p − y·z)/Δ, the fraction-free rank-one update.
+// The division is exact by construction (Edmonds); the int64 path asserts
+// it, so a bookkeeping bug can never silently corrupt a verdict. dst may
+// alias any operand.
+func (k *ktab) pivotUpdate(dst, x, p, y, z *ient) {
+	if !x.wide && !p.wide && !y.wide && !z.wide && !k.delta.wide {
+		m1, ok1 := exact.MulInt64(x.v, p.v)
+		m2, ok2 := exact.MulInt64(y.v, z.v)
+		if ok1 && ok2 {
+			d, ok := exact.SubInt64(m1, m2)
+			if ok {
+				q, rem := d/k.delta.v, d%k.delta.v
+				if rem != 0 {
+					panic("simplex: fraction-free pivot division not exact")
+				}
+				dst.v = q
+				dst.wide = false
+				return
+			}
+		}
+		k.promotions++
+	}
+	m1 := k.t1.Mul(x.view(k.t1), p.view(k.t2))
+	m2 := k.t3.Mul(y.view(k.t3), z.view(k.t4))
+	m1.Sub(m1, m2)
+	m1.Quo(m1, k.delta.view(k.t2))
+	k.setBig(dst, m1)
+}
+
+// scaleUpdate sets dst = dst·p/Δ — the degenerate rank-one update for rows
+// whose pivot-column entry is zero, which must still move onto the new
+// common denominator.
+func (k *ktab) scaleUpdate(dst, p *ient) {
+	if !dst.wide && !p.wide && !k.delta.wide {
+		m, ok := exact.MulInt64(dst.v, p.v)
+		if ok {
+			q, rem := m/k.delta.v, m%k.delta.v
+			if rem != 0 {
+				panic("simplex: fraction-free pivot division not exact")
+			}
+			dst.v = q
+			dst.wide = false
+			return
+		}
+		k.promotions++
+	}
+	m := k.t1.Mul(dst.view(k.t1), p.view(k.t2))
+	m.Quo(m, k.delta.view(k.t2))
+	k.setBig(dst, m)
+}
+
+// mulAcc adds x·y into the big.Int accumulator acc.
+func (k *ktab) mulAcc(acc *big.Int, x, y *ient) {
+	k.t1.Mul(x.view(k.t1), y.view(k.t2))
+	acc.Add(acc, k.t1)
+}
+
+// cmpProducts compares a·b with c·d exactly (the cross-multiplied
+// minimum-ratio test; all ratio denominators are positive).
+func (k *ktab) cmpProducts(a, b, c, d *ient) int {
+	if !a.wide && !b.wide && !c.wide && !d.wide {
+		if cmp, ok := cmpMulInt64(a.v, b.v, c.v, d.v); ok {
+			return cmp
+		}
+	}
+	k.t1.Mul(a.view(k.t1), b.view(k.t2))
+	k.t3.Mul(c.view(k.t3), d.view(k.t4))
+	return k.t1.Cmp(k.t3)
+}
+
+// cmpMulInt64 compares a·b with c·d via 128-bit products (never overflows;
+// ok=false only for MinInt64 magnitudes, which promote).
+func cmpMulInt64(a, b, c, d int64) (int, bool) {
+	if a == math.MinInt64 || b == math.MinInt64 || c == math.MinInt64 || d == math.MinInt64 {
+		return 0, false
+	}
+	lneg, lh, ll := mag128(a, b)
+	rneg, rh, rl := mag128(c, d)
+	lz := lh == 0 && ll == 0
+	rz := rh == 0 && rl == 0
+	if lz && rz {
+		return 0, true
+	}
+	if lz {
+		if rneg {
+			return 1, true
+		}
+		return -1, true
+	}
+	if rz {
+		if lneg {
+			return -1, true
+		}
+		return 1, true
+	}
+	if lneg != rneg {
+		if lneg {
+			return -1, true
+		}
+		return 1, true
+	}
+	cmp := 0
+	switch {
+	case lh != rh:
+		if lh > rh {
+			cmp = 1
+		} else {
+			cmp = -1
+		}
+	case ll != rl:
+		if ll > rl {
+			cmp = 1
+		} else {
+			cmp = -1
+		}
+	}
+	if lneg {
+		cmp = -cmp
+	}
+	return cmp, true
+}
+
+// mag128 returns the sign and 128-bit magnitude of a·b (a, b ≠ MinInt64).
+func mag128(a, b int64) (neg bool, hi, lo uint64) {
+	neg = (a < 0) != (b < 0)
+	hi, lo = bits.Mul64(exact.AbsU64(a), exact.AbsU64(b))
+	if hi == 0 && lo == 0 {
+		neg = false
+	}
+	return neg, hi, lo
+}
+
+// runKernel mirrors runBig on the kernel tableau: identical standard-form
+// construction, crash basis, two phases and Bland pivoting — on the scaled
+// integer representation instead of big.Rat elements.
+func (w *Workspace) runKernel(p *Problem) Status {
+	w.vecUsed = 0
+	w.kactive = true
+	obj := p.Objective
+	if obj != nil && len(obj) != p.NumVars {
+		panic("simplex: objective width mismatch")
+	}
+
+	lay := w.layout(p)
+	maps, slackCol, artCol := lay.maps, lay.slack, lay.art
+	n, m, nArt := lay.n, lay.m, lay.nArt
+
+	k := &w.kt
+	k.initScratch()
+	k.promotions = 0
+	k.rowsUsed = 0
+	k.n, k.m = n+nArt, m
+	k.frozen = 0
+	k.delta.setInt(1)
+	if cap(k.a) < m {
+		k.a = make([][]ient, m)
+	}
+	k.a = k.a[:m]
+	k.b = k.row(m)
+	if cap(k.basis) < m {
+		k.basis = make([]int, m)
+	}
+	k.basis = k.basis[:m]
+
+	iform := p.intForm()
+	for i := range p.Constraints {
+		con := &p.Constraints[i]
+		row := k.row(k.n)
+		if !k.fillRowFast(row, &k.b[i], &iform.rows[i], maps, p.NumVars) {
+			k.fillRowBig(row, &k.b[i], con, maps, p.NumVars)
+		}
+		switch con.Rel {
+		case LE:
+			row[slackCol[i]].setInt(1)
+		case GE:
+			row[slackCol[i]].setInt(-1)
+		}
+		if k.b[i].sign() < 0 {
+			for j := range row {
+				if row[j].sign() != 0 {
+					k.neg(&row[j])
+				}
+			}
+			k.neg(&k.b[i])
+		}
+		k.a[i] = row
+		if artCol[i] >= 0 {
+			row[artCol[i]].setInt(1)
+			k.basis[i] = artCol[i]
+		} else {
+			k.basis[i] = slackCol[i]
+		}
+	}
+
+	// Phase 1: minimise the sum of artificials.
+	if nArt > 0 {
+		phase1 := k.row(k.n)
+		for i := 0; i < m; i++ {
+			if artCol[i] >= 0 {
+				phase1[artCol[i]].setInt(1)
+			}
+		}
+		k.c = phase1
+		k.syncBasic()
+		k.computeReducedCosts()
+		if st := k.optimize(); st == Unbounded {
+			panic("simplex: phase 1 unbounded")
+		}
+		if k.objectiveSign() > 0 {
+			w.lastPromotions = k.promotions
+			return Infeasible
+		}
+		k.expelArtificials(n)
+	}
+
+	// Phase 2: original objective (scaled to integers by its positive
+	// common denominator — reduced-cost signs are unchanged); artificial
+	// columns frozen out.
+	c2 := k.row(k.n)
+	if obj != nil {
+		k.fillCosts(c2, obj, maps, p.Sense)
+	}
+	k.c = c2
+	k.frozen = n
+	k.syncBasic()
+	k.computeReducedCosts()
+	st := k.optimize()
+	w.lastPromotions = k.promotions
+	if st == Unbounded {
+		return Unbounded
+	}
+	if obj == nil {
+		obj = w.vec(p.NumVars)
+	}
+	w.lastObj = obj
+	return Optimal
+}
+
+// fillRowFast materialises constraint row i from its intForm snapshot,
+// scaled to integers by the (positive) common denominator of the
+// coefficients and the right-hand side. Row scaling is an equivalence
+// transformation, so verdicts and pivot choices are unaffected. Returns
+// false when the row has no snapshot or the scaling overflows.
+func (k *ktab) fillRowFast(row []ient, rhs *ient, ir *intRow, maps []varMap, numVars int) bool {
+	if !ir.ok {
+		return false
+	}
+	den := ir.coeffs.Den
+	rd := ir.rhs.Den()
+	g := int64(exact.GCD64(uint64(den), uint64(rd)))
+	scale, ok := exact.MulInt64(den, rd/g)
+	if !ok {
+		return false
+	}
+	cs := scale / den // coefficient multiplier
+	rs := scale / rd  // rhs multiplier
+	rv, ok := exact.MulInt64(ir.rhs.Num(), rs)
+	if !ok {
+		return false
+	}
+	for j := 0; j < numVars; j++ {
+		num := ir.coeffs.Num[j]
+		if num == 0 {
+			continue
+		}
+		v, ok := exact.MulInt64(num, cs)
+		if !ok {
+			// Roll back the entries already written.
+			for q := 0; q < j; q++ {
+				row[maps[q].pos].setInt(0)
+				if maps[q].neg >= 0 {
+					row[maps[q].neg].setInt(0)
+				}
+			}
+			return false
+		}
+		row[maps[j].pos].setInt(v)
+		if maps[j].neg >= 0 {
+			if v == math.MinInt64 {
+				for q := 0; q <= j; q++ {
+					row[maps[q].pos].setInt(0)
+					if maps[q].neg >= 0 {
+						row[maps[q].neg].setInt(0)
+					}
+				}
+				return false
+			}
+			row[maps[j].neg].setInt(-v)
+		}
+	}
+	rhs.setInt(rv)
+	return true
+}
+
+// fillRowBig is the arbitrary-precision fallback of fillRowFast.
+func (k *ktab) fillRowBig(row []ient, rhs *ient, con *Constraint, maps []varMap, numVars int) {
+	// scale = lcm of all denominators (coefficients and RHS).
+	scale := k.t1.Set(con.RHS.Denom())
+	g := k.t2
+	for j := 0; j < numVars; j++ {
+		d := con.Coeffs[j].Denom()
+		g.GCD(nil, nil, scale, d)
+		scale.Div(scale, g)
+		scale.Mul(scale, d)
+	}
+	val := new(big.Int)
+	for j := 0; j < numVars; j++ {
+		c := con.Coeffs[j]
+		if c.Sign() == 0 {
+			continue
+		}
+		val.Div(scale, c.Denom())
+		val.Mul(val, c.Num())
+		k.setBig(&row[maps[j].pos], val)
+		if maps[j].neg >= 0 {
+			val.Neg(val)
+			k.setBig(&row[maps[j].neg], val)
+		}
+	}
+	val.Div(scale, con.RHS.Denom())
+	val.Mul(val, con.RHS.Num())
+	k.setBig(rhs, val)
+}
+
+// fillCosts materialises the phase-2 cost row: the objective scaled to
+// integers by its positive common denominator λ (reduced-cost signs, and
+// therefore pivoting, are invariant under positive scaling).
+func (k *ktab) fillCosts(c2 []ient, obj exact.Vec, maps []varMap, sense Sense) {
+	if o64, ok := exact.Vec64FromVec(obj); ok {
+		for j, num := range o64.Num {
+			if num == 0 {
+				continue
+			}
+			c2[maps[j].pos].setInt(num)
+			if maps[j].neg >= 0 {
+				if num == math.MinInt64 {
+					k.ensureBig(&c2[maps[j].neg]).SetInt64(num)
+					c2[maps[j].neg].wide = true
+					c2[maps[j].neg].b.Neg(c2[maps[j].neg].b)
+				} else {
+					c2[maps[j].neg].setInt(-num)
+				}
+			}
+		}
+	} else {
+		scale := k.t1.SetInt64(1)
+		g := k.t2
+		for _, c := range obj {
+			d := c.Denom()
+			g.GCD(nil, nil, scale, d)
+			scale.Div(scale, g)
+			scale.Mul(scale, d)
+		}
+		val := new(big.Int)
+		for j, c := range obj {
+			if c.Sign() == 0 {
+				continue
+			}
+			val.Div(scale, c.Denom())
+			val.Mul(val, c.Num())
+			k.setBig(&c2[maps[j].pos], val)
+			if maps[j].neg >= 0 {
+				val.Neg(val)
+				k.setBig(&c2[maps[j].neg], val)
+			}
+		}
+	}
+	if sense == Maximize {
+		for j := range c2 {
+			if c2[j].sign() != 0 {
+				k.neg(&c2[j])
+			}
+		}
+	}
+}
+
+// optimize runs Bland-rule primal simplex on the kernel tableau.
+func (k *ktab) optimize() Status {
+	for {
+		col := k.enteringColumn()
+		if col < 0 {
+			return Optimal
+		}
+		row := k.leavingRow(col)
+		if row < 0 {
+			return Unbounded
+		}
+		k.pivot(row, col)
+	}
+}
+
+// syncBasic rebuilds the basic-column flags from the basis.
+func (k *ktab) syncBasic() {
+	if cap(k.basic) < k.n {
+		k.basic = make([]bool, k.n)
+	}
+	k.basic = k.basic[:k.n]
+	for j := range k.basic {
+		k.basic[j] = false
+	}
+	for _, b := range k.basis {
+		k.basic[b] = true
+	}
+}
+
+// rlimit bounds the columns whose reduced costs are maintained: frozen
+// (artificial) columns never enter in phase 2, so their entries are dead.
+func (k *ktab) rlimit() int {
+	if k.frozen > 0 {
+		return k.frozen
+	}
+	return k.n
+}
+
+// computeReducedCosts initialises the maintained row from the current
+// basis: R[j] = C[j]·Δ − Σᵢ C[basis[i]]·T[i][j], the reduced costs scaled
+// by the positive Δ·λ. Recomputing reduced costs on every entering-column
+// scan is O(n·m) exact multiplications per iteration — the dominant cost
+// of the big.Rat tableau; maintaining the row through pivots makes the
+// scan a row of integer sign checks. The maintained values are positive
+// multiples of the rationals the scan would recompute, so the Bland pivot
+// sequence — and every verdict — is unchanged.
+func (k *ktab) computeReducedCosts() {
+	k.r = k.row(k.n)
+	limit := k.rlimit()
+	acc := new(big.Int)
+	for j := 0; j < limit; j++ {
+		rj := &k.r[j]
+		if k.c[j].sign() == 0 && !k.c[j].wide {
+			acc.SetInt64(0)
+		} else {
+			acc.Mul(k.c[j].view(k.t1), k.delta.view(k.t2))
+		}
+		for i := 0; i < k.m; i++ {
+			cb := &k.c[k.basis[i]]
+			if cb.sign() == 0 || k.a[i][j].sign() == 0 {
+				continue
+			}
+			k.t1.Mul(cb.view(k.t1), k.a[i][j].view(k.t2))
+			acc.Sub(acc, k.t1)
+		}
+		k.setBig(rj, acc)
+	}
+}
+
+// enteringColumn returns the lowest-index column with negative reduced cost
+// (Bland's rule), or -1 at optimality — the same rule, on the same exact
+// signs, as the big.Rat tableau, so the pivot sequences are identical.
+func (k *ktab) enteringColumn() int {
+	limit := k.rlimit()
+	for j := 0; j < limit; j++ {
+		if k.basic[j] {
+			continue
+		}
+		if k.r[j].sign() < 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// leavingRow performs the minimum-ratio test with Bland tie-breaking. True
+// ratios are β[i]/T[i][col] (Δ cancels); comparisons cross-multiply, so no
+// division happens at all.
+func (k *ktab) leavingRow(col int) int {
+	best := -1
+	for i := 0; i < k.m; i++ {
+		if k.a[i][col].sign() <= 0 {
+			continue
+		}
+		if best < 0 {
+			best = i
+			continue
+		}
+		c := k.cmpProducts(&k.b[i], &k.a[best][col], &k.b[best], &k.a[i][col])
+		if c < 0 || (c == 0 && k.basis[i] < k.basis[best]) {
+			best = i
+		}
+	}
+	return best
+}
+
+// pivot performs the fraction-free pivot at (row, col): every row except
+// the pivot row gets the rank-one update, the pivot row is left as-is, and
+// Δ becomes the pivot element. The maintained reduced-cost row and the
+// basic-column flags are kept current.
+func (k *ktab) pivot(row, col int) {
+	piv := &k.a[row][col] // > 0: the ratio test only admits positive entries
+	arow := k.a[row]
+	for i := 0; i < k.m; i++ {
+		if i == row {
+			continue
+		}
+		ai := k.a[i]
+		fac := &ai[col]
+		if fac.sign() == 0 {
+			// Row update degenerates to scaling by piv/Δ; still required to
+			// keep the whole tableau on the common denominator Δ' = piv.
+			for j := 0; j < k.n; j++ {
+				if ai[j].sign() != 0 {
+					k.scaleUpdate(&ai[j], piv)
+				}
+			}
+			if k.b[i].sign() != 0 {
+				k.scaleUpdate(&k.b[i], piv)
+			}
+			continue
+		}
+		for j := 0; j < k.n; j++ {
+			if j == col {
+				continue
+			}
+			if ai[j].sign() == 0 && arow[j].sign() == 0 {
+				continue
+			}
+			k.pivotUpdate(&ai[j], &ai[j], piv, fac, &arow[j])
+		}
+		k.pivotUpdate(&k.b[i], &k.b[i], piv, fac, &k.b[row])
+		ai[col].setInt(0)
+	}
+	// Maintained reduced-cost row: the same rank-one update with the cost
+	// entry of the pivot column as the factor; R[col] lands on exactly zero.
+	rfac := &k.r[col]
+	limit := k.rlimit()
+	if rfac.sign() == 0 {
+		for j := 0; j < limit; j++ {
+			if k.r[j].sign() != 0 {
+				k.scaleUpdate(&k.r[j], piv)
+			}
+		}
+	} else {
+		for j := 0; j < limit; j++ {
+			if j == col {
+				continue
+			}
+			if k.r[j].sign() == 0 && arow[j].sign() == 0 {
+				continue
+			}
+			k.pivotUpdate(&k.r[j], &k.r[j], piv, rfac, &arow[j])
+		}
+		k.r[col].setInt(0)
+	}
+	k.set(&k.delta, piv)
+	k.basic[k.basis[row]] = false
+	k.basic[col] = true
+	k.basis[row] = col
+}
+
+// objectiveSign returns the sign of the current objective value
+// Σᵢ c_basis[i]·β[i] (/Δλ — positive, so the sign is exact).
+func (k *ktab) objectiveSign() int {
+	acc := new(big.Int)
+	for i, bi := range k.basis {
+		if k.c[bi].sign() == 0 {
+			continue
+		}
+		k.t1.Mul(k.c[bi].view(k.t1), k.b[i].view(k.t2))
+		acc.Add(acc, k.t1)
+	}
+	return acc.Sign()
+}
+
+// expelArtificials pivots basic artificial variables out of the basis where
+// a non-artificial pivot column exists, mirroring the big.Rat tableau.
+func (k *ktab) expelArtificials(firstArt int) {
+	for i := 0; i < k.m; i++ {
+		if k.basis[i] < firstArt {
+			continue
+		}
+		if k.b[i].sign() != 0 {
+			continue
+		}
+		for j := 0; j < firstArt; j++ {
+			if k.a[i][j].sign() != 0 && !k.basic[j] {
+				k.kpivotAnySign(i, j)
+				break
+			}
+		}
+	}
+}
+
+// kpivotAnySign pivots at (row, col) where the pivot element may be
+// negative (expelling artificials from degenerate rows). The fraction-free
+// update requires Δ > 0, so a negative pivot first flips the whole pivot
+// row (legal: the row represents the equation 0 = 0 ... scaled; flipping a
+// tableau row's sign is a basis-change bookkeeping no-op for a degenerate
+// row with β = 0).
+func (k *ktab) kpivotAnySign(row, col int) {
+	if k.a[row][col].sign() < 0 {
+		for j := 0; j < k.n; j++ {
+			if k.a[row][j].sign() != 0 {
+				k.neg(&k.a[row][j])
+			}
+		}
+		// β[row] is zero here (degenerate row), nothing to flip.
+	}
+	k.pivot(row, col)
+}

@@ -1,0 +1,162 @@
+package simplex
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// TestKernelMatchesBigRat is the differential property pinning the int64
+// kernel tableau against the pure big.Rat reference: same status, same
+// optimal objective, same solution vector, on randomized LPs that include
+// free variables, equalities and negative right-hand sides.
+func TestKernelMatchesBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(2026))
+	kernel := NewWorkspace()
+	ref := NewWorkspace()
+	ref.ForceBigRat = true
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		if rng.Intn(2) == 0 {
+			p.MarkFree(rng.Intn(p.NumVars))
+		}
+		rk := kernel.Solve(p)
+		if got, _ := kernel.LastSolveKernel(); !got {
+			t.Fatal("default workspace must solve on the kernel tableau")
+		}
+		rb := ref.Solve(p)
+		if got, _ := ref.LastSolveKernel(); got {
+			t.Fatal("ForceBigRat workspace must solve on the reference tableau")
+		}
+		if rk.Status != rb.Status {
+			t.Fatalf("trial %d: kernel status %v, reference status %v", trial, rk.Status, rb.Status)
+		}
+		if rk.Status != Optimal {
+			continue
+		}
+		if rk.Objective.Cmp(rb.Objective) != 0 {
+			t.Fatalf("trial %d: kernel objective %s, reference %s",
+				trial, rk.Objective.RatString(), rb.Objective.RatString())
+		}
+		if !rk.X.Equal(rb.X) {
+			t.Fatalf("trial %d: kernel X %v, reference X %v", trial, rk.X, rb.X)
+		}
+	}
+}
+
+// TestKernelWideCoefficients drives the kernel into big.Rat territory: a
+// coefficient wider than int64 must route that element through the
+// promoted representation and still produce the reference verdict.
+func TestKernelWideCoefficients(t *testing.T) {
+	huge := new(big.Rat).SetFrac(new(big.Int).Lsh(big.NewInt(1), 70), big.NewInt(3))
+	build := func() *Problem {
+		p := NewProblem(2)
+		coeffs := exact.NewVec(2)
+		coeffs[0].Set(huge)
+		coeffs[1].SetFrac64(7, 1<<50)
+		p.AddConstraint(coeffs, LE, big.NewRat(1, 1))
+		c2 := exact.NewVec(2)
+		c2[0].SetInt64(1)
+		c2[1].SetInt64(1)
+		p.AddConstraint(c2, GE, big.NewRat(1, 1))
+		obj := exact.NewVec(2)
+		obj[0].SetInt64(1)
+		obj[1].SetInt64(2)
+		p.Objective = obj
+		return p
+	}
+	kernel := NewWorkspace()
+	ref := NewWorkspace()
+	ref.ForceBigRat = true
+	p := build()
+	rk := kernel.Solve(p)
+	rb := ref.Solve(p)
+	if rk.Status != rb.Status {
+		t.Fatalf("status: kernel %v, reference %v", rk.Status, rb.Status)
+	}
+	if rk.Status == Optimal {
+		if rk.Objective.Cmp(rb.Objective) != 0 {
+			t.Fatalf("objective: kernel %s, reference %s", rk.Objective.RatString(), rb.Objective.RatString())
+		}
+		if !rk.X.Equal(rb.X) {
+			t.Fatalf("X: kernel %v, reference %v", rk.X, rb.X)
+		}
+	}
+}
+
+// TestElementPromotionAndDemotion exercises the adaptive integer element
+// directly: a rank-one update whose exact result leaves int64 promotes
+// (and is counted), and a later result that fits demotes back to the
+// machine-word representation.
+func TestElementPromotionAndDemotion(t *testing.T) {
+	var k ktab
+	k.initScratch()
+	k.delta.setInt(1)
+	var x, p, y, z, dst ient
+	x.setInt(math.MaxInt64)
+	p.setInt(2)
+	y.setInt(0)
+	z.setInt(0)
+	// dst = (MaxInt64·2 − 0·0)/1: must promote.
+	k.pivotUpdate(&dst, &x, &p, &y, &z)
+	if k.promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", k.promotions)
+	}
+	if !dst.wide {
+		t.Fatal("2·MaxInt64 must be wide")
+	}
+	want := new(big.Int).SetInt64(math.MaxInt64)
+	want.Mul(want, big.NewInt(2))
+	if dst.view(k.t1).Cmp(want) != 0 {
+		t.Fatalf("wide value %s, want %s", dst.view(k.t1), want)
+	}
+	// dst = (dst·1 − MaxInt64·1)/1 = MaxInt64: fits again, must demote.
+	one := ient{v: 1}
+	k.pivotUpdate(&dst, &dst, &one, &x, &one)
+	if dst.wide {
+		t.Fatal("result fitting int64 must demote")
+	}
+	if dst.v != math.MaxInt64 {
+		t.Fatalf("demoted value %d", dst.v)
+	}
+	// The scaled update divides exactly: (MaxInt64·6)/3 with Δ = 3.
+	k.delta.setInt(3)
+	p.setInt(6)
+	k.scaleUpdate(&dst, &p)
+	want.SetInt64(math.MaxInt64)
+	want.Mul(want, big.NewInt(2))
+	if dst.view(k.t1).Cmp(want) != 0 {
+		t.Fatalf("scaled value %s, want %s", dst.view(k.t1), want)
+	}
+}
+
+// TestIntFormInvalidation pins the generation-counter contract: rebuilding
+// a problem through Reset/GrowConstraint must refresh the kernel snapshot.
+func TestIntFormInvalidation(t *testing.T) {
+	w := NewWorkspace()
+	p := w.Prepare(1)
+	row, rhs := p.GrowConstraint(GE)
+	row[0].SetInt64(1)
+	rhs.SetInt64(5)
+	if st := w.SolveStatus(p); st != Optimal {
+		t.Fatalf("first solve: %v", st)
+	}
+	// Rebuild with a contradictory system; a stale snapshot would keep the
+	// old feasible row.
+	p.Reset(1)
+	row, rhs = p.GrowConstraint(GE)
+	row[0].SetInt64(-1) // -x ≥ 1 ⇒ x ≤ -1, impossible for x ≥ 0
+	rhs.SetInt64(1)
+	if st := w.SolveStatus(p); st != Infeasible {
+		t.Fatalf("after Reset: %v, want infeasible", st)
+	}
+	// Direct mutation plus Invalidate.
+	p.Constraints[0].RHS.SetInt64(-1) // -x ≥ -1 ⇒ x ≤ 1, feasible
+	p.Invalidate()
+	if st := w.SolveStatus(p); st != Optimal {
+		t.Fatalf("after Invalidate: %v, want optimal", st)
+	}
+}

@@ -12,6 +12,7 @@ package simplex
 import (
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"repro/internal/exact"
 )
@@ -55,13 +56,20 @@ type Constraint struct {
 }
 
 // Problem is a linear program. Variables are non-negative unless marked
-// free. A nil Objective means a pure feasibility problem.
+// free. A nil Objective means a pure feasibility problem. A Problem must
+// not be copied after first use (it caches its int64-kernel snapshot in an
+// atomic pointer).
 type Problem struct {
 	NumVars     int
 	Sense       Sense
 	Objective   exact.Vec
 	Constraints []Constraint
 	Free        []bool // optional; len NumVars if non-nil
+
+	// gen counts structural mutations; iform caches the int64-kernel
+	// snapshot of the constraint system, keyed by gen (see kernel.go).
+	gen   uint64
+	iform atomic.Pointer[intForm]
 }
 
 // NewProblem returns an empty problem with n non-negative variables.
@@ -90,6 +98,7 @@ func (p *Problem) Reset(n int) {
 	p.Objective = nil
 	p.Free = nil
 	p.Constraints = p.Constraints[:0]
+	p.Invalidate()
 }
 
 // GrowConstraint appends one constraint and hands back its coefficient
@@ -97,6 +106,7 @@ func (p *Problem) Reset(n int) {
 // fill in place. Unlike AddConstraint it reuses the storage of constraints
 // discarded by Reset, so repeated build/solve cycles are allocation-free.
 func (p *Problem) GrowConstraint(rel Rel) (coeffs exact.Vec, rhs *big.Rat) {
+	p.Invalidate()
 	if len(p.Constraints) < cap(p.Constraints) {
 		p.Constraints = p.Constraints[:len(p.Constraints)+1]
 	} else {
@@ -199,6 +209,17 @@ type Workspace struct {
 	t       tableau
 	prob    *Problem
 	lastObj exact.Vec // objective vector of the last successful run
+
+	// ForceBigRat routes every solve through the pure big.Rat reference
+	// tableau instead of the int64 kernel tableau. Verdicts and solutions
+	// are bit-identical either way (the kernel is exact, element-promoting
+	// on overflow); the knob exists for differential testing and as an
+	// operational escape hatch.
+	ForceBigRat bool
+
+	kt             ktab
+	kactive        bool   // last run used the kernel tableau
+	lastPromotions uint64 // element promotions in the last kernel solve
 }
 
 // ratNegOne is the shared -1 used to flip constraint rows; Rat.Mul only
@@ -258,14 +279,23 @@ func (w *Workspace) Solve(p *Problem) Result {
 	if st != Optimal {
 		return Result{Status: st}
 	}
-	t := &w.t
 	obj := w.lastObj
 
 	// Extract solution. X is built from fresh rationals so the Result
 	// survives workspace reuse.
-	y := w.vec(t.n)
-	for i, bi := range t.basis {
-		y[bi].Set(t.b[i])
+	var y exact.Vec
+	if w.kactive {
+		kt := &w.kt
+		y = w.vec(kt.n)
+		for i, bi := range kt.basis {
+			kt.b[i].rat(y[bi], &kt.delta, kt.t1, kt.t2)
+		}
+	} else {
+		t := &w.t
+		y = w.vec(t.n)
+		for i, bi := range t.basis {
+			y[bi].Set(t.b[i])
+		}
 	}
 	x := exact.NewVec(p.NumVars)
 	for j := 0; j < p.NumVars; j++ {
@@ -287,20 +317,23 @@ func (w *Workspace) SolveStatus(p *Problem) Status {
 	return w.run(p)
 }
 
-// run executes both simplex phases on the workspace tableau and leaves the
-// final state in place for extraction.
-func (w *Workspace) run(p *Problem) Status {
-	w.vecUsed = 0
-	obj := p.Objective
-	if obj == nil {
-		obj = w.vec(p.NumVars)
-	}
-	if len(obj) != p.NumVars {
-		panic("simplex: objective width mismatch")
-	}
+// layout holds the standard-form column plan shared by the kernel and
+// big.Rat tableaux: the variable→column maps, slack and artificial column
+// assignments, the pre-artificial column count n, row count m and
+// artificial count nArt.
+type layout struct {
+	maps       []varMap
+	slack, art []int
+	n, m, nArt int
+}
 
-	// Map original variables to standard-form columns. Free variables
-	// split into positive and negative parts.
+// layout computes the standard-form plan into the workspace's reusable
+// slices. Free variables split into positive and negative parts. A row
+// whose slack carries coefficient +1 after sign normalisation (LE with
+// RHS ≥ 0, or GE with RHS < 0) seeds the phase-1 basis with its slack
+// instead of an artificial — the standard crash basis, which shrinks the
+// tableau and often skips phase-1 pivoting entirely.
+func (w *Workspace) layout(p *Problem) layout {
 	if cap(w.maps) < p.NumVars {
 		w.maps = make([]varMap, p.NumVars)
 	}
@@ -317,12 +350,6 @@ func (w *Workspace) run(p *Problem) Status {
 		}
 	}
 	m := len(p.Constraints)
-
-	// Count slack columns, and decide which rows need an artificial: a row
-	// whose slack carries coefficient +1 after sign normalisation (LE with
-	// RHS ≥ 0, or GE with RHS < 0) seeds the phase-1 basis with its slack
-	// instead — the standard crash basis, which shrinks the tableau and
-	// often skips phase-1 pivoting entirely.
 	if cap(w.slack) < m {
 		w.slack = make([]int, m)
 	}
@@ -349,6 +376,42 @@ func (w *Workspace) run(p *Problem) Status {
 			nArt++
 		}
 	}
+	return layout{maps: maps, slack: slackCol, art: artCol, n: n, m: m, nArt: nArt}
+}
+
+// run executes both simplex phases, on the int64 kernel tableau by default
+// or on the big.Rat reference tableau when ForceBigRat is set, and leaves
+// the final state in place for extraction.
+func (w *Workspace) run(p *Problem) Status {
+	if w.ForceBigRat {
+		return w.runBig(p)
+	}
+	return w.runKernel(p)
+}
+
+// LastSolveKernel reports whether the previous solve ran on the int64
+// kernel tableau, and how many element promotions (exact results leaving
+// the int64 range) it performed.
+func (w *Workspace) LastSolveKernel() (kernel bool, promotions uint64) {
+	return w.kactive, w.lastPromotions
+}
+
+// runBig is the pure big.Rat reference implementation.
+func (w *Workspace) runBig(p *Problem) Status {
+	w.vecUsed = 0
+	w.kactive = false
+	w.lastPromotions = 0
+	obj := p.Objective
+	if obj == nil {
+		obj = w.vec(p.NumVars)
+	}
+	if len(obj) != p.NumVars {
+		panic("simplex: objective width mismatch")
+	}
+
+	lay := w.layout(p)
+	maps, slackCol, artCol := lay.maps, lay.slack, lay.art
+	n, m, nArt := lay.n, lay.m, lay.nArt
 
 	t := &w.t
 	t.n, t.m = n+nArt, m

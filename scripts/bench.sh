@@ -2,7 +2,9 @@
 # Records the performance baseline the trajectory tracks: runs the key
 # feasibility/solver benchmarks with -benchmem and writes both the raw
 # harness output (BENCH_results.txt) and a parsed JSON form
-# (BENCH_results.json) at the repository root.
+# (BENCH_results.json) at the repository root. When a previous
+# BENCH_results.json exists, a before/after comparison (% delta per
+# benchmark for ns/op and allocs/op) is written to BENCH_compare.txt.
 #
 # Usage:
 #   scripts/bench.sh                 # default benchmark set, -count=1
@@ -15,6 +17,13 @@ BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility|SolveWorkspace|SolveFresh|CorpusS
 COUNT="${COUNT:-1}"
 TXT=BENCH_results.txt
 JSON=BENCH_results.json
+COMPARE=BENCH_compare.txt
+
+OLD_JSON=""
+if [ -f "${JSON}" ]; then
+  OLD_JSON="$(mktemp)"
+  cp "${JSON}" "${OLD_JSON}"
+fi
 
 {
   echo "# go test -run=NONE -bench '${BENCH}' -benchmem -count=${COUNT}"
@@ -24,27 +33,13 @@ JSON=BENCH_results.json
 } | tee "${TXT}"
 
 # Parse "BenchmarkName-P  N  ns/op  B/op  allocs/op" lines into JSON.
-awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
-BEGIN { n = 0 }
-/^Benchmark/ && NF >= 3 {
-  name = $1; sub(/-[0-9]+$/, "", name)
-  iters = $2; ns = ""; bytes = ""; allocs = ""
-  for (i = 3; i < NF; i++) {
-    if ($(i+1) == "ns/op") ns = $i
-    if ($(i+1) == "B/op") bytes = $i
-    if ($(i+1) == "allocs/op") allocs = $i
-  }
-  if (ns == "") next
-  line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
-  if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
-  if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
-  line = line "}"
-  results[n++] = line
-}
-END {
-  printf "{\n  \"recorded\": \"%s\",\n  \"benchmarks\": [\n", date
-  for (i = 0; i < n; i++) printf "  %s%s\n", results[i], (i < n-1 ? "," : "")
-  print "  ]\n}"
-}' "${TXT}" > "${JSON}"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -f scripts/benchjson.awk "${TXT}" > "${JSON}"
 
 echo "wrote ${TXT} and ${JSON}"
+
+# Before/after comparison against the previous recording.
+if [ -n "${OLD_JSON}" ]; then
+  scripts/benchcompare.py "${OLD_JSON}" "${JSON}" | tee "${COMPARE}"
+  rm -f "${OLD_JSON}"
+  echo "wrote ${COMPARE}"
+fi

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_results.json recordings benchmark-by-benchmark.
+
+Usage:
+    scripts/benchcompare.py OLD.json NEW.json [--guard PATTERN MAXRATIO]
+
+Prints one line per benchmark present in either file with the % delta for
+ns/op and allocs/op (negative = improvement).
+
+With --guard, exits non-zero if any benchmark whose name matches the regex
+PATTERN regressed its allocs/op by more than MAXRATIO (e.g. 1.2 = +20%) —
+CI uses this to keep the exact-path allocation budget honest. Benchmarks
+present on only one side are reported but never fail the guard (they are
+additions or removals, not regressions).
+"""
+import json
+import re
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: b for b in data.get("benchmarks", [])}
+
+
+def fmt_delta(old, new):
+    if old is None or new is None:
+        return "      n/a"
+    if old == 0:
+        return "     new0" if new else "       0%"
+    return f"{100.0 * (new - old) / old:+8.1f}%"
+
+
+def main():
+    args = sys.argv[1:]
+    guard_pat, guard_ratio = None, None
+    if "--guard" in args:
+        i = args.index("--guard")
+        guard_pat = re.compile(args[i + 1])
+        guard_ratio = float(args[i + 2])
+        args = args[:i] + args[i + 3 :]
+    if len(args) != 2:
+        sys.exit(__doc__)
+    old, new = load(args[0]), load(args[1])
+
+    names = sorted(set(old) | set(new))
+    width = max(len(n) for n in names) if names else 10
+    print(f"{'benchmark':<{width}}  {'ns/op Δ':>9}  {'allocs Δ':>9}")
+    failures = []
+    for n in names:
+        o, w = old.get(n), new.get(n)
+        ons = o.get("ns_per_op") if o else None
+        wns = w.get("ns_per_op") if w else None
+        oal = o.get("allocs_per_op") if o else None
+        wal = w.get("allocs_per_op") if w else None
+        print(f"{n:<{width}}  {fmt_delta(ons, wns)}  {fmt_delta(oal, wal)}")
+        if (
+            guard_pat is not None
+            and guard_pat.search(n)
+            and oal not in (None, 0)
+            and wal is not None
+            and wal > oal * guard_ratio
+        ):
+            failures.append((n, oal, wal))
+    if failures:
+        print()
+        for n, oal, wal in failures:
+            print(
+                f"GUARD FAIL: {n} allocs/op {oal} -> {wal} "
+                f"(> {guard_ratio:g}x budget)",
+                file=sys.stderr,
+            )
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

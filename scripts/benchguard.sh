@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI bench smoke + allocation guard: runs the solver benchmarks briefly,
+# then fails if any exact-path benchmark's allocs/op regressed by more
+# than 20% against the committed BENCH_results.json baseline. Allocation
+# counts are deterministic enough to gate in CI (unlike ns/op, which moves
+# with the runner's hardware — the % deltas are printed but never gate).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility}"
+BENCHTIME="${BENCHTIME:-50x}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+
+go test -run=NONE -bench "${BENCH}" -benchmem -benchtime="${BENCHTIME}" -timeout 30m . | tee "${TMP}/bench.txt"
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -f scripts/benchjson.awk "${TMP}/bench.txt" > "${TMP}/bench.json"
+
+scripts/benchcompare.py BENCH_results.json "${TMP}/bench.json" --guard '/exact$' 1.2

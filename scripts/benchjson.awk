@@ -1,0 +1,24 @@
+# Parses `go test -bench` output lines
+#   BenchmarkName-P  N  ns/op  B/op  allocs/op
+# into the BENCH_results.json shape. Invoke with -v date=<iso8601>.
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 3 {
+  name = $1; sub(/-[0-9]+$/, "", name)
+  iters = $2; ns = ""; bytes = ""; allocs = ""
+  for (i = 3; i < NF; i++) {
+    if ($(i+1) == "ns/op") ns = $i
+    if ($(i+1) == "B/op") bytes = $i
+    if ($(i+1) == "allocs/op") allocs = $i
+  }
+  if (ns == "") next
+  line = sprintf("  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", name, iters, ns)
+  if (bytes != "")  line = line sprintf(", \"bytes_per_op\": %s", bytes)
+  if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+  line = line "}"
+  results[n++] = line
+}
+END {
+  printf "{\n  \"recorded\": \"%s\",\n  \"benchmarks\": [\n", date
+  for (i = 0; i < n; i++) printf "  %s%s\n", results[i], (i < n-1 ? "," : "")
+  print "  ]\n}"
+}
