@@ -31,13 +31,17 @@
 //	-job-history n     ring of finished jobs kept queryable (default 64)
 //	-job-ttl d         how long finished jobs stay queryable (default 1h)
 //	-no-catalog        start with an empty model registry
+//	-verdict-db path   persistent content-addressed verdict store; cached
+//	                   feasibility verdicts survive restarts (off by default)
 //	-pprof-addr a      serve net/http/pprof on a (off by default; bind
 //	                   loopback only — profiles expose internals)
 //
 // GET /stats reports the two-tier solver's telemetry (evaluations, float
-// filter hits, certification failures, exact fallbacks, plus the int64
-// kernel's fast-path/promotion counters and the certification arithmetic
-// split) accumulated across all requests since boot.
+// filter hits, certification failures, exact fallbacks, warm-start dual
+// simplex counts and mean pivots, plus the int64 kernel's
+// fast-path/promotion counters and the certification arithmetic split)
+// and the engine's LP/verdict cache hit, miss and eviction counters,
+// accumulated across all requests since boot.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener
@@ -65,6 +69,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/haswell"
 	"repro/internal/jobs"
+	"repro/internal/perfdb"
 	"repro/internal/server"
 	"repro/internal/stats"
 )
@@ -100,6 +105,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobHistory    = fs.Int("job-history", jobs.DefaultMaxRetained, "how many finished exploration jobs stay queryable")
 		jobTTL        = fs.Duration("job-ttl", jobs.DefaultRetainFor, "how long finished exploration jobs stay queryable")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
+		verdictDB     = fs.String("verdict-db", "", "path to the persistent verdict store; cached feasibility verdicts survive restarts (empty disables)")
 		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); bind loopback only, e.g. 127.0.0.1:6060")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -109,7 +115,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("confidence must be in (0,1), got %g", *confidence)
 	}
 
-	eng := engine.New(engine.WithWorkers(*workers))
+	engOpts := []engine.Option{engine.WithWorkers(*workers)}
+	if *verdictDB != "" {
+		vs, err := perfdb.OpenVerdictStore(*verdictDB)
+		if err != nil {
+			return err
+		}
+		defer vs.Close()
+		fmt.Fprintf(out, "counterpointd: verdict store %s (%d verdicts)\n", *verdictDB, vs.Len())
+		engOpts = append(engOpts, engine.WithVerdictStore(vs))
+	}
+	eng := engine.New(engOpts...)
 	defer eng.Close()
 	mode := stats.Correlated
 	if *independent {

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootDaemon starts run() with the given extra flags on an ephemeral
+// port and returns the base URL plus a shutdown func that stops the
+// daemon and waits for a clean exit.
+func bootDaemon(t *testing.T, extra ...string) (base string, shutdown func()) {
+	t.Helper()
+	addrCh := make(chan net.Addr, 1)
+	testListenerHook = func(a net.Addr) { addrCh <- a }
+	t.Cleanup(func() { testListenerHook = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var out syncBuffer
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-workers", "2"}, extra...)
+	go func() { done <- run(ctx, args, &out) }()
+
+	select {
+	case a := <-addrCh:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-done:
+		cancel()
+		t.Fatalf("daemon exited early: %v (output %q)", err, out.String())
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatal("daemon never bound its listener")
+	}
+	return base, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit: %v (output %q)", err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("daemon never shut down")
+		}
+	}
+}
+
+// daemonStats fetches and decodes GET /stats.
+func daemonStats(t *testing.T, base string) map[string]json.RawMessage {
+	t.Helper()
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestVerdictStoreSurvivesRestart boots the daemon with -verdict-db,
+// serves a verdict, shuts the process down, boots a second daemon on the
+// same store, and checks the same request is served from the persisted
+// verdict cache: store hits > 0 and zero solver evaluations.
+func TestVerdictStoreSurvivesRestart(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "verdicts.db")
+	reg := `{"name":"pde","source":"incr load.causes_walk;\nswitch Pde$Status { Hit => pass; Miss => incr load.pde$_miss; };\ndone;"}`
+	body := `{"label":"x","events":["load.causes_walk","load.pde$_miss"],"samples":[[10,2],[11,2],[10,3],[12,2],[11,3]]}`
+
+	serve := func(base string) {
+		resp, err := http.Post(base+"/v1/models", "application/json", strings.NewReader(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("register status %d", resp.StatusCode)
+		}
+		resp, err = http.Post(base+"/v1/models/pde/test", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("test endpoint status %d", resp.StatusCode)
+		}
+	}
+
+	base1, shutdown1 := bootDaemon(t, "-no-catalog", "-verdict-db", dbPath)
+	serve(base1)
+	st := daemonStats(t, base1)
+	var caches struct {
+		StoreHits   uint64 `json:"store_hits"`
+		VerdictHits uint64 `json:"verdict_hits"`
+	}
+	if err := json.Unmarshal(st["caches"], &caches); err != nil {
+		t.Fatal(err)
+	}
+	if caches.StoreHits != 0 {
+		t.Fatalf("first boot already had %d store hits", caches.StoreHits)
+	}
+	shutdown1()
+
+	base2, shutdown2 := bootDaemon(t, "-no-catalog", "-verdict-db", dbPath)
+	defer shutdown2()
+	serve(base2)
+	st = daemonStats(t, base2)
+	if err := json.Unmarshal(st["caches"], &caches); err != nil {
+		t.Fatal(err)
+	}
+	if caches.StoreHits == 0 {
+		t.Fatalf("restarted daemon served no persisted verdict hits: caches %s", st["caches"])
+	}
+	var evals uint64
+	if err := json.Unmarshal(st["evaluations"], &evals); err != nil {
+		t.Fatal(err)
+	}
+	if evals != 0 {
+		t.Fatalf("restarted daemon ran %d solver evaluations, want 0 (persisted verdicts)", evals)
+	}
+}

@@ -1,0 +1,340 @@
+package core
+
+// Content-addressed LP identity. canonicalizing a feasibility LP to a
+// deterministic byte encoding — stable row order, primitive integer
+// rows, reduced rationals — gives every LP a content hash that survives
+// serialization boundaries: two Problems built independently (different
+// pointers, different row order, scaled rows) hash equal exactly when
+// they denote the same constraint system. The engine keys its verdict
+// cache on this hash, and internal/perfdb persists verdicts under it, so
+// cache hits outlive a counterpointd restart and can be shared across
+// future distributed workers (ROADMAP).
+//
+// Canonical form, one text line per constraint:
+//
+//	clp1
+//	v <numVars>
+//	f <free indices, ascending>           (omitted when none)
+//	o <min|max> <c0> <c1> ...             (omitted for feasibility LPs)
+//	c <le|eq> <a0> ... <a(n-1)> <rhs>
+//
+// Rows are scaled to primitive integers (GE rows are negated onto LE
+// first; EQ rows get a positive leading sign), byte-sorted and
+// deduplicated — all equivalence transformations of the feasible set.
+// The hash is SHA-256 over the encoding.
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/exact"
+	"repro/internal/simplex"
+)
+
+// LPHash is the SHA-256 of an LP's canonical encoding.
+type LPHash [32]byte
+
+// String returns the hash in hex.
+func (h LPHash) String() string { return hex.EncodeToString(h[:]) }
+
+// ParseLPHash parses the hex form produced by String.
+func ParseLPHash(s string) (LPHash, error) {
+	var h LPHash
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return h, fmt.Errorf("core: bad LP hash %q: %w", s, err)
+	}
+	if len(b) != len(h) {
+		return h, fmt.Errorf("core: bad LP hash %q: want %d bytes, got %d", s, len(h), len(b))
+	}
+	copy(h[:], b)
+	return h, nil
+}
+
+// HashLP returns the content hash of p's canonical form.
+func HashLP(p *simplex.Problem) LPHash {
+	return sha256.Sum256(EncodeLP(p))
+}
+
+// EncodeLP returns p's canonical encoding. Encoding never fails: rows
+// outside the int64 fast path take a big.Int slow path with identical
+// output on the shared domain.
+func EncodeLP(p *simplex.Problem) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("clp1\nv ")
+	buf.WriteString(strconv.Itoa(p.NumVars))
+	buf.WriteByte('\n')
+	if p.Free != nil {
+		first := true
+		for i, f := range p.Free {
+			if !f {
+				continue
+			}
+			if first {
+				buf.WriteString("f")
+				first = false
+			}
+			buf.WriteByte(' ')
+			buf.WriteString(strconv.Itoa(i))
+		}
+		if !first {
+			buf.WriteByte('\n')
+		}
+	}
+	if p.Objective != nil {
+		if p.Sense == simplex.Maximize {
+			buf.WriteString("o max")
+		} else {
+			buf.WriteString("o min")
+		}
+		for _, c := range p.Objective {
+			buf.WriteByte(' ')
+			buf.WriteString(c.RatString())
+		}
+		buf.WriteByte('\n')
+	}
+	rows := make([]string, len(p.Constraints))
+	for i := range p.Constraints {
+		rows[i] = canonRowLine(p, i)
+	}
+	sort.Strings(rows)
+	prev := ""
+	for _, r := range rows {
+		if r == prev {
+			continue // duplicate constraints denote one half-space
+		}
+		prev = r
+		buf.WriteString(r)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// canonRowLine renders constraint i in canonical primitive-integer form.
+func canonRowLine(p *simplex.Problem, i int) string {
+	rel := p.Constraints[i].Rel
+	if v, rhs, ok := p.SnapshotRow(i); ok {
+		if s, ok := canonRowFast(v, rhs, rel); ok {
+			return s
+		}
+	}
+	return canonRowBig(&p.Constraints[i])
+}
+
+// canonRowFast is the overflow-checked int64 canonicalization.
+func canonRowFast(v exact.Vec64, rhs exact.Rat64, rel simplex.Rel) (string, bool) {
+	n := len(v.Num)
+	ints := make([]int64, n+1)
+	// Common scale L = lcm(v.Den, rhs.Den()).
+	g := int64(exact.GCD64(uint64(v.Den), uint64(rhs.Den())))
+	l, ok := exact.MulInt64(v.Den, rhs.Den()/g)
+	if !ok {
+		return "", false
+	}
+	cs, rs := l/v.Den, l/rhs.Den()
+	for j, num := range v.Num {
+		ints[j], ok = exact.MulInt64(num, cs)
+		if !ok {
+			return "", false
+		}
+	}
+	ints[n], ok = exact.MulInt64(rhs.Num(), rs)
+	if !ok {
+		return "", false
+	}
+	negate := rel == simplex.GE
+	if rel == simplex.EQ {
+		for _, x := range ints {
+			if x != 0 {
+				negate = x < 0
+				break
+			}
+		}
+	}
+	var gg uint64
+	for _, x := range ints {
+		if x != 0 {
+			gg = exact.GCD64(gg, exact.AbsU64(x))
+		}
+	}
+	if gg > 1 {
+		for j := range ints {
+			ints[j] /= int64(gg)
+		}
+	}
+	if negate {
+		for j, x := range ints {
+			if x == int64(-1)<<63 {
+				return "", false
+			}
+			ints[j] = -x
+		}
+	}
+	var sb strings.Builder
+	if rel == simplex.EQ {
+		sb.WriteString("c eq")
+	} else {
+		sb.WriteString("c le")
+	}
+	for _, x := range ints {
+		sb.WriteByte(' ')
+		sb.WriteString(strconv.FormatInt(x, 10))
+	}
+	return sb.String(), true
+}
+
+// canonRowBig is the arbitrary-precision canonicalization, bit-identical
+// to canonRowFast on the shared domain.
+func canonRowBig(con *simplex.Constraint) string {
+	n := len(con.Coeffs)
+	scale := new(big.Int).Set(con.RHS.Denom())
+	g := new(big.Int)
+	for _, c := range con.Coeffs {
+		d := c.Denom()
+		g.GCD(nil, nil, scale, d)
+		scale.Div(scale, g)
+		scale.Mul(scale, d)
+	}
+	ints := make([]*big.Int, n+1)
+	for j, c := range con.Coeffs {
+		v := new(big.Int).Div(scale, c.Denom())
+		ints[j] = v.Mul(v, c.Num())
+	}
+	v := new(big.Int).Div(scale, con.RHS.Denom())
+	ints[n] = v.Mul(v, con.RHS.Num())
+	negate := con.Rel == simplex.GE
+	if con.Rel == simplex.EQ {
+		for _, x := range ints {
+			if x.Sign() != 0 {
+				negate = x.Sign() < 0
+				break
+			}
+		}
+	}
+	g.SetInt64(0)
+	abs := new(big.Int)
+	for _, x := range ints {
+		if x.Sign() == 0 {
+			continue
+		}
+		if g.Sign() == 0 {
+			g.Abs(x)
+			continue
+		}
+		g.GCD(nil, nil, g, abs.Abs(x))
+	}
+	if g.Cmp(big.NewInt(1)) > 0 {
+		for _, x := range ints {
+			x.Div(x, g)
+		}
+	}
+	if negate {
+		for _, x := range ints {
+			x.Neg(x)
+		}
+	}
+	var sb strings.Builder
+	if con.Rel == simplex.EQ {
+		sb.WriteString("c eq")
+	} else {
+		sb.WriteString("c le")
+	}
+	for _, x := range ints {
+		sb.WriteByte(' ')
+		sb.WriteString(x.String())
+	}
+	return sb.String()
+}
+
+// DecodeLP reconstructs a Problem from a canonical encoding. The result
+// denotes the same feasible set (and objective) as the encoded LP; its
+// rows are the canonical ones, so EncodeLP(DecodeLP(e)) == e for any e
+// produced by EncodeLP.
+func DecodeLP(data []byte) (*simplex.Problem, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	if !sc.Scan() || sc.Text() != "clp1" {
+		return nil, fmt.Errorf("core: not a canonical LP encoding")
+	}
+	if !sc.Scan() {
+		return nil, fmt.Errorf("core: truncated LP encoding")
+	}
+	head := strings.Fields(sc.Text())
+	if len(head) != 2 || head[0] != "v" {
+		return nil, fmt.Errorf("core: bad variable header %q", sc.Text())
+	}
+	n, err := strconv.Atoi(head[1])
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("core: bad variable count %q", head[1])
+	}
+	p := simplex.NewProblem(n)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "f":
+			for _, tok := range fields[1:] {
+				idx, err := strconv.Atoi(tok)
+				if err != nil || idx < 0 || idx >= n {
+					return nil, fmt.Errorf("core: bad free index %q", tok)
+				}
+				p.MarkFree(idx)
+			}
+		case "o":
+			if len(fields) != n+2 {
+				return nil, fmt.Errorf("core: objective width %d, want %d", len(fields)-2, n)
+			}
+			switch fields[1] {
+			case "min":
+				p.Sense = simplex.Minimize
+			case "max":
+				p.Sense = simplex.Maximize
+			default:
+				return nil, fmt.Errorf("core: bad objective sense %q", fields[1])
+			}
+			p.Objective = exact.NewVec(n)
+			for j, tok := range fields[2:] {
+				if _, ok := p.Objective[j].SetString(tok); !ok {
+					return nil, fmt.Errorf("core: bad objective coefficient %q", tok)
+				}
+			}
+		case "c":
+			if len(fields) != n+3 {
+				return nil, fmt.Errorf("core: row width %d, want %d", len(fields)-2, n+1)
+			}
+			var rel simplex.Rel
+			switch fields[1] {
+			case "le":
+				rel = simplex.LE
+			case "eq":
+				rel = simplex.EQ
+			default:
+				return nil, fmt.Errorf("core: bad row relation %q", fields[1])
+			}
+			coeffs, rhs := p.GrowConstraint(rel)
+			for j, tok := range fields[2 : n+2] {
+				if _, ok := coeffs[j].SetString(tok); !ok {
+					return nil, fmt.Errorf("core: bad coefficient %q", tok)
+				}
+			}
+			if _, ok := rhs.SetString(fields[n+2]); !ok {
+				return nil, fmt.Errorf("core: bad right-hand side %q", fields[n+2])
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown encoding line %q", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("core: scanning LP encoding: %w", err)
+	}
+	return p, nil
+}

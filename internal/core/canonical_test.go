@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/simplex"
+)
+
+// randomProblem builds a random feasibility LP with small rational
+// coefficients, occasionally free variables, and a mix of relations,
+// including degenerate zero rows and duplicate rows.
+func randomProblem(rng *rand.Rand) *simplex.Problem {
+	n := 1 + rng.Intn(5)
+	p := simplex.NewProblem(n)
+	for j := 0; j < n; j++ {
+		if rng.Intn(4) == 0 {
+			p.MarkFree(j)
+		}
+	}
+	rows := 1 + rng.Intn(7)
+	for i := 0; i < rows; i++ {
+		rel := simplex.LE
+		switch rng.Intn(4) {
+		case 0:
+			rel = simplex.GE
+		case 1:
+			rel = simplex.EQ
+		}
+		coeffs, rhs := p.GrowConstraint(rel)
+		den := int64(1) << uint(rng.Intn(6))
+		for j := range coeffs {
+			if rng.Intn(3) == 0 {
+				continue // leave zero
+			}
+			coeffs[j].SetFrac64(int64(rng.Intn(41)-20), den)
+		}
+		rhs.SetFrac64(int64(rng.Intn(61)-20), 1+int64(rng.Intn(7)))
+		if i > 0 && rng.Intn(5) == 0 {
+			// Duplicate a prior row verbatim: must not change the hash.
+			src := &p.Constraints[rng.Intn(i)]
+			dup, drhs := p.GrowConstraint(src.Rel)
+			for j := range dup {
+				dup[j].Set(src.Coeffs[j])
+			}
+			drhs.Set(src.RHS)
+		}
+	}
+	return p
+}
+
+// permuted returns a copy of p with its rows in a random order.
+func permuted(p *simplex.Problem, rng *rand.Rand) *simplex.Problem {
+	q := simplex.NewProblem(p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		if p.Free != nil && p.Free[j] {
+			q.MarkFree(j)
+		}
+	}
+	if p.Objective != nil {
+		q.Sense = p.Sense
+		q.Objective = exact.NewVec(len(p.Objective))
+		for j := range p.Objective {
+			q.Objective[j].Set(p.Objective[j])
+		}
+	}
+	order := rng.Perm(len(p.Constraints))
+	for _, i := range order {
+		src := &p.Constraints[i]
+		coeffs, rhs := q.GrowConstraint(src.Rel)
+		for j := range coeffs {
+			coeffs[j].Set(src.Coeffs[j])
+		}
+		rhs.Set(src.RHS)
+	}
+	return q
+}
+
+// scaledRows returns a copy of p with every row multiplied by a positive
+// rational (and LE/GE rows optionally rewritten as the negated opposite
+// relation) — pure equivalence transformations of the feasible set.
+func scaledRows(p *simplex.Problem, rng *rand.Rand) *simplex.Problem {
+	q := simplex.NewProblem(p.NumVars)
+	for j := 0; j < p.NumVars; j++ {
+		if p.Free != nil && p.Free[j] {
+			q.MarkFree(j)
+		}
+	}
+	var m big.Rat
+	for i := range p.Constraints {
+		src := &p.Constraints[i]
+		m.SetFrac64(1+int64(rng.Intn(9)), 1+int64(rng.Intn(9)))
+		rel := src.Rel
+		neg := false
+		if rel != simplex.EQ && rng.Intn(2) == 0 {
+			// a·x ≤ b  ⇔  −a·x ≥ −b and vice versa.
+			neg = true
+			if rel == simplex.LE {
+				rel = simplex.GE
+			} else {
+				rel = simplex.LE
+			}
+		}
+		coeffs, rhs := q.GrowConstraint(rel)
+		for j := range coeffs {
+			coeffs[j].Mul(src.Coeffs[j], &m)
+			if neg {
+				coeffs[j].Neg(coeffs[j])
+			}
+		}
+		rhs.Mul(src.RHS, &m)
+		if neg {
+			rhs.Neg(rhs)
+		}
+	}
+	return q
+}
+
+func TestCanonicalEncodeDecodeFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		e1 := EncodeLP(p)
+		q, err := DecodeLP(e1)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\nencoding:\n%s", trial, err, e1)
+		}
+		e2 := EncodeLP(q)
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("trial %d: encode∘decode not a fixpoint:\n--- first ---\n%s--- second ---\n%s",
+				trial, e1, e2)
+		}
+		if HashLP(p) != HashLP(q) {
+			t.Fatalf("trial %d: hash changed across decode round trip", trial)
+		}
+	}
+}
+
+func TestCanonicalHashInvariances(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		p := randomProblem(rng)
+		h := HashLP(p)
+		if got := HashLP(permuted(p, rng)); got != h {
+			t.Fatalf("trial %d: hash not invariant under row permutation", trial)
+		}
+		if got := HashLP(scaledRows(p, rng)); got != h {
+			t.Fatalf("trial %d: hash not invariant under positive row scaling", trial)
+		}
+	}
+}
+
+func TestCanonicalDistinctLPsDistinctHashes(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	seen := map[LPHash]string{}
+	for trial := 0; trial < 400; trial++ {
+		p := randomProblem(rng)
+		e := string(EncodeLP(p))
+		h := HashLP(p)
+		if prev, ok := seen[h]; ok && prev != e {
+			t.Fatalf("hash collision between distinct canonical forms:\n%s\nvs\n%s", prev, e)
+		}
+		seen[h] = e
+		// A genuine semantic perturbation must change the hash.
+		q := permuted(p, rng)
+		c := &q.Constraints[rng.Intn(len(q.Constraints))]
+		c.RHS.Add(c.RHS, big.NewRat(1, 3))
+		if HashLP(q) == h && !bytes.Equal(EncodeLP(q), EncodeLP(p)) {
+			t.Fatalf("trial %d: rhs perturbation did not change hash", trial)
+		}
+	}
+	if len(seen) < 100 {
+		t.Fatalf("corpus too degenerate: only %d distinct canonical forms", len(seen))
+	}
+}
+
+func TestCanonicalBigPathMatchesFast(t *testing.T) {
+	// A row with a huge denominator forces canonRowBig; the same
+	// half-space expressed in the int64 domain takes canonRowFast. Both
+	// must render the identical canonical line, so the hashes agree.
+	huge := new(big.Int).Lsh(big.NewInt(1), 80)
+	p := simplex.NewProblem(2)
+	coeffs, rhs := p.GrowConstraint(simplex.LE)
+	coeffs[0].SetFrac(big.NewInt(3), huge)
+	coeffs[1].SetFrac(big.NewInt(-6), huge)
+	rhs.SetFrac(big.NewInt(9), huge)
+
+	q := simplex.NewProblem(2)
+	qcoeffs, qrhs := q.GrowConstraint(simplex.LE)
+	qcoeffs[0].SetInt64(1)
+	qcoeffs[1].SetInt64(-2)
+	qrhs.SetInt64(3)
+
+	if HashLP(p) != HashLP(q) {
+		t.Fatalf("big-path canonical form diverges from fast path:\n%s\nvs\n%s",
+			EncodeLP(p), EncodeLP(q))
+	}
+}
+
+func TestParseLPHashRoundTrip(t *testing.T) {
+	p := simplex.NewProblem(1)
+	coeffs, rhs := p.GrowConstraint(simplex.LE)
+	coeffs[0].SetInt64(1)
+	rhs.SetInt64(5)
+	h := HashLP(p)
+	got, err := ParseLPHash(h.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: %v != %v", got, h)
+	}
+	if _, err := ParseLPHash("zz"); err == nil {
+		t.Fatal("want error for bad hex")
+	}
+	if _, err := ParseLPHash("abcd"); err == nil {
+		t.Fatal("want error for short hash")
+	}
+}
+
+// FuzzCanonicalLP drives the canonical encoder with fuzz-chosen LP
+// shapes: encode→decode→encode must be a fixpoint and the hash must be
+// stable under row permutation.
+func FuzzCanonicalLP(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4))
+	f.Add(int64(99), uint8(1), uint8(1))
+	f.Add(int64(-7), uint8(6), uint8(8))
+	f.Fuzz(func(t *testing.T, seed int64, nvars, nrows uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nvars)%6
+		rows := 1 + int(nrows)%8
+		p := simplex.NewProblem(n)
+		for j := 0; j < n; j++ {
+			if rng.Intn(4) == 0 {
+				p.MarkFree(j)
+			}
+		}
+		for i := 0; i < rows; i++ {
+			rel := simplex.LE
+			switch rng.Intn(3) {
+			case 0:
+				rel = simplex.GE
+			case 1:
+				rel = simplex.EQ
+			}
+			coeffs, rhs := p.GrowConstraint(rel)
+			for j := range coeffs {
+				num := int64(rng.Intn(2001) - 1000)
+				den := int64(1 + rng.Intn(999))
+				coeffs[j].SetFrac64(num, den)
+			}
+			rhs.SetFrac64(int64(rng.Intn(2001)-1000), int64(1+rng.Intn(999)))
+		}
+		e1 := EncodeLP(p)
+		q, err := DecodeLP(e1)
+		if err != nil {
+			t.Fatalf("decode: %v\n%s", err, e1)
+		}
+		e2 := EncodeLP(q)
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("not a fixpoint:\n%s\nvs\n%s", e1, e2)
+		}
+		if HashLP(permuted(p, rng)) != HashLP(p) {
+			t.Fatal("hash not invariant under row permutation")
+		}
+	})
+}

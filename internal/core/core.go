@@ -17,7 +17,10 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"sync"
 
 	"repro/internal/cone"
@@ -52,6 +55,10 @@ type Model struct {
 	// component per verdict.
 	genOnce sync.Once
 	genF    [][]float64
+
+	// keyOnce/key cache the model content key (see ContentKey).
+	keyOnce sync.Once
+	key     string
 }
 
 // NewModel builds a Model from a validated μDD. set chooses the HECs under
@@ -106,6 +113,28 @@ func (m *Model) Restrict(set *counters.Set) (*Model, error) {
 	return NewModel(m.Name, m.Diagram, set)
 }
 
+// ContentKey returns a stable content identifier of the model's LP side:
+// a digest of the counter set and the normalised cone generators — the
+// only model state RegionLP reads. Unlike the model pointer it survives
+// serialization boundaries: two models derived independently from the
+// same diagram and set share a key, so content-keyed caches hit across
+// re-registration and (eventually) across workers.
+func (m *Model) ContentKey() string {
+	m.keyOnce.Do(func() {
+		h := sha256.New()
+		io.WriteString(h, m.Set.Key())
+		for _, g := range m.kcone.Generators {
+			h.Write([]byte{'|'})
+			for _, c := range g {
+				io.WriteString(h, c.RatString())
+				h.Write([]byte{' '})
+			}
+		}
+		m.key = hex.EncodeToString(h.Sum(nil)[:16])
+	})
+	return m.key
+}
+
 // Verdict is the outcome of testing one observation against one model.
 type Verdict struct {
 	Model       string
@@ -154,9 +183,17 @@ func (m *Model) TestRegionSolver(sv *Solver, r *stats.Region, identifyViolations
 // repeated sweeps re-solve without rebuilding constraint rows. A nil sv
 // solves exact-only through a temporary workspace.
 func (m *Model) TestRegionLP(sv *Solver, p *simplex.Problem, r *stats.Region, identifyViolations bool) (*Verdict, error) {
-	v := &Verdict{Model: m.Name, Region: r}
-	v.Feasible = sv.Feasible(p)
-	if !v.Feasible && identifyViolations {
+	return m.VerdictForRegion(r, sv.Feasible(p), identifyViolations)
+}
+
+// VerdictForRegion assembles the verdict for r from an already-decided
+// feasibility answer — the completion path shared by TestRegionLP and
+// the engine's content-addressed verdict cache. Violation identification
+// needs no LP solve (RegionViolates is closed-form over the box), so a
+// cached feasibility bit still yields the full verdict.
+func (m *Model) VerdictForRegion(r *stats.Region, feasible, identifyViolations bool) (*Verdict, error) {
+	v := &Verdict{Model: m.Name, Region: r, Feasible: feasible}
+	if !feasible && identifyViolations {
 		h, err := m.Constraints()
 		if err != nil {
 			return nil, err

@@ -161,3 +161,33 @@ func BenchmarkSweepSession(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkVerdictCacheHit measures the content-addressed verdict cache's
+// steady state: the same observation tested over and over against the
+// same model, so after the first call every Test is a verdict-cache hit —
+// region lookup, LP-cache hit, cached canonical hash, memoised verdict —
+// with no simplex solve of any tier in the timed loop.
+func BenchmarkVerdictCacheHit(b *testing.B) {
+	m := pdeModel(b)
+	e := New(WithWorkers(1))
+	defer e.Close()
+	s, err := e.NewSession(m, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := obsAround("steady", 500, 100, 100, 42)
+	if _, err := s.Test(context.Background(), o); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Test(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if cc := e.CacheStats(); cc.VerdictHits == 0 {
+		b.Fatal("no verdict-cache hits recorded")
+	}
+}

@@ -39,9 +39,13 @@ var ErrClosed = errors.New("engine: closed")
 // Engine is a long-lived evaluation runtime. The zero value is not usable;
 // call New. Engines are safe for concurrent use.
 type Engine struct {
-	workers int
-	regions *stats.RegionBuilder
-	solver  *core.SolverStats
+	workers      int
+	regions      *stats.RegionBuilder
+	solver       *core.SolverStats
+	caches       *cacheStats
+	store        VerdictStore
+	lpLimit      int
+	verdictLimit int
 
 	tasks chan func()
 	quit  chan struct{}
@@ -52,13 +56,16 @@ type Engine struct {
 	scratch sync.Pool // *evalScratch
 
 	mu     sync.Mutex
-	models map[restrictKey]*core.Model
+	models *lruCache[restrictKey, *core.Model]
 
-	lpMu sync.RWMutex
-	lps  map[lpKey]*simplex.Problem
+	lpMu sync.Mutex
+	lps  *lruCache[lpKey, lpEntry]
 
-	sessMu   sync.RWMutex
-	sessions map[sessionKey]*Session
+	verdictMu sync.Mutex
+	verdicts  *lruCache[core.LPHash, bool]
+
+	sessMu   sync.Mutex
+	sessions *lruCache[sessionKey, *Session]
 }
 
 // sessionKey identifies a shared session. Config is a comparable value
@@ -76,22 +83,53 @@ type restrictKey struct {
 	set     string
 }
 
-// lpKey identifies a cached feasibility LP. Both the model and the region
-// are engine-cached themselves, so pointer identity is the right notion of
-// sameness.
+// lpKey identifies a cached feasibility LP by content: the model's
+// content key and the region's content key. Content keys (unlike the
+// pointer keys this cache used to hold) survive rebuilt regions and
+// deduplicate identical payloads arriving through different pointers.
 type lpKey struct {
-	model  *core.Model
-	region *stats.Region
+	model  string
+	region string
+}
+
+// lpEntry pairs a cached LP with its canonical content hash, computed
+// once at build time so verdict-cache lookups on the hot path cost a map
+// probe instead of a canonicalization pass.
+type lpEntry struct {
+	p    *simplex.Problem
+	hash core.LPHash
 }
 
 // evalScratch is the per-worker reusable state: the exact LP workspace,
-// the float-filter workspace of the two-tier solver, and the certificate
-// checker's int64-kernel scratch. Pooled rather than per-worker so
-// Session.Test (which runs inline, off-pool) can borrow one too.
+// the float-filter workspace of the two-tier solver, the certificate
+// checker's int64-kernel scratch, and the warm-start solvers keyed by
+// model. Pooled rather than per-worker so Session.Test (which runs
+// inline, off-pool) can borrow one too.
 type evalScratch struct {
 	ws   *simplex.Workspace
 	fl   *floatlp.Workspace
 	cert *simplex.Certifier
+	warm map[*core.Model]*simplex.WarmSolver
+}
+
+// warmPerScratchLimit bounds the warm solvers one scratch retains; each
+// holds a live integer tableau, so a scratch that has served many models
+// sheds them all rather than growing without bound.
+const warmPerScratchLimit = 16
+
+// warmFor returns the scratch's warm-start solver for m, creating one on
+// first use. Basis reuse only pays within one model's stream of regions,
+// so solvers are per (scratch, model).
+func (sc *evalScratch) warmFor(m *core.Model) *simplex.WarmSolver {
+	if w, ok := sc.warm[m]; ok {
+		return w
+	}
+	if sc.warm == nil || len(sc.warm) >= warmPerScratchLimit {
+		sc.warm = make(map[*core.Model]*simplex.WarmSolver)
+	}
+	w := simplex.NewWarmSolver()
+	sc.warm[m] = w
+	return w
 }
 
 // Option configures an Engine.
@@ -108,22 +146,46 @@ func WithWorkers(n int) Option {
 	}
 }
 
+// WithVerdictStore attaches a persistent verdict store (typically
+// perfdb's): verdict-cache misses read through to it and fresh verdicts
+// write through, so content-addressed verdicts survive process restarts.
+func WithVerdictStore(s VerdictStore) Option {
+	return func(e *Engine) { e.store = s }
+}
+
+// WithCacheLimits overrides the LP and verdict cache bounds. Values below
+// 1 keep the corresponding default.
+func WithCacheLimits(lps, verdicts int) Option {
+	return func(e *Engine) {
+		if lps >= 1 {
+			e.lpLimit = lps
+		}
+		if verdicts >= 1 {
+			e.verdictLimit = verdicts
+		}
+	}
+}
+
 // New starts an engine with its worker pool running. Call Close to stop the
 // workers when the engine is no longer needed; the package-level Default
 // engine stays up for the life of the process.
 func New(opts ...Option) *Engine {
 	e := &Engine{
-		workers:  runtime.GOMAXPROCS(0),
-		regions:  stats.NewRegionBuilder(),
-		solver:   &core.SolverStats{},
-		quit:     make(chan struct{}),
-		models:   make(map[restrictKey]*core.Model),
-		lps:      make(map[lpKey]*simplex.Problem),
-		sessions: make(map[sessionKey]*Session),
+		workers:      runtime.GOMAXPROCS(0),
+		regions:      stats.NewRegionBuilder(),
+		solver:       &core.SolverStats{},
+		caches:       &cacheStats{},
+		lpLimit:      lpCacheLimit,
+		verdictLimit: verdictCacheLimit,
+		quit:         make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(e)
 	}
+	e.models = newLRU[restrictKey, *core.Model](modelCacheLimit)
+	e.lps = newLRU[lpKey, lpEntry](e.lpLimit)
+	e.verdicts = newLRU[core.LPHash, bool](e.verdictLimit)
+	e.sessions = newLRU[sessionKey, *Session](sessionCacheLimit)
 	e.scratch.New = func() any {
 		return &evalScratch{
 			ws:   simplex.NewWorkspace(),
@@ -196,43 +258,39 @@ func (e *Engine) submit(ctx context.Context, f func()) error {
 func (e *Engine) getScratch() *evalScratch  { return e.scratch.Get().(*evalScratch) }
 func (e *Engine) putScratch(s *evalScratch) { e.scratch.Put(s) }
 
-// lpCacheLimit bounds the per-(model, region) LP cache. Workloads that
-// never revisit a pair (explore searches evaluate each node once) would
-// otherwise grow the cache without ever hitting it; past the cap, LPs are
-// built fresh into the pooled problem storage instead of being retained.
+// lpCacheLimit bounds the per-(model, region) LP cache. The cache is
+// LRU: workloads that revisit pairs keep their hot set resident no matter
+// how many one-shot LPs (explore searches evaluate each node once) pass
+// through in between.
 const lpCacheLimit = 1 << 16
 
-// lpFor returns the feasibility LP of (m, r), built once and re-solved by
-// every subsequent verdict over the same cached region — sweeps that
-// revisit a corpus skip the whole constraint-row construction.
-func (e *Engine) lpFor(m *core.Model, r *stats.Region, sc *evalScratch) (*simplex.Problem, error) {
-	k := lpKey{model: m, region: r}
-	e.lpMu.RLock()
-	p, ok := e.lps[k]
-	full := len(e.lps) >= lpCacheLimit
-	e.lpMu.RUnlock()
-	if ok {
-		return p, nil
-	}
-	if full {
-		p = sc.ws.Prepare(0)
-		if err := m.RegionLP(p, r); err != nil {
-			return nil, err
-		}
-		return p, nil
-	}
-	p = simplex.NewProblem(0)
-	if err := m.RegionLP(p, r); err != nil {
-		return nil, err
-	}
+// verdictCacheLimit bounds the in-memory content-addressed verdict
+// cache. Entries are a hash and a bool, so the cap is generous.
+const verdictCacheLimit = 1 << 18
+
+// lpFor returns the feasibility LP of (m, r) and its content hash. The LP
+// is built once and re-solved by every subsequent verdict over the same
+// region content — sweeps that revisit a corpus skip the whole
+// constraint-row construction, and the hash addresses the verdict cache.
+func (e *Engine) lpFor(m *core.Model, r *stats.Region) (*simplex.Problem, core.LPHash, error) {
+	k := lpKey{model: m.ContentKey(), region: r.Key()}
 	e.lpMu.Lock()
-	if prev, ok := e.lps[k]; ok {
-		p = prev
-	} else {
-		e.lps[k] = p
-	}
+	ent, ok := e.lps.Get(k)
 	e.lpMu.Unlock()
-	return p, nil
+	if ok {
+		e.caches.lpHits.Add(1)
+		return ent.p, ent.hash, nil
+	}
+	e.caches.lpMisses.Add(1)
+	p := simplex.NewProblem(0)
+	if err := m.RegionLP(p, r); err != nil {
+		return nil, core.LPHash{}, err
+	}
+	ent = lpEntry{p: p, hash: core.HashLP(p)}
+	e.lpMu.Lock()
+	ent = e.lps.Add(k, ent) // first writer wins
+	e.lpMu.Unlock()
+	return ent.p, ent.hash, nil
 }
 
 // modelFor returns m restricted to set, memoised per (diagram, set) so
@@ -245,7 +303,7 @@ func (e *Engine) modelFor(m *core.Model, set *counters.Set) (*core.Model, error)
 	}
 	k := restrictKey{diagram: m.Diagram, set: set.Key()}
 	e.mu.Lock()
-	cached, ok := e.models[k]
+	cached, ok := e.models.Get(k)
 	e.mu.Unlock()
 	if ok {
 		return cached, nil
@@ -255,15 +313,10 @@ func (e *Engine) modelFor(m *core.Model, set *counters.Set) (*core.Model, error)
 		return nil, err
 	}
 	e.mu.Lock()
-	if prev, ok := e.models[k]; ok {
-		restricted = prev
-	} else if len(e.models) < modelCacheLimit {
-		e.models[k] = restricted
-	}
+	restricted = e.models.Add(k, restricted) // first writer wins
 	e.mu.Unlock()
 	return restricted, nil
 }
 
-// modelCacheLimit bounds the restricted-model cache; like the LP cache it
-// degrades to building fresh models rather than growing without bound.
+// modelCacheLimit bounds the restricted-model LRU cache.
 const modelCacheLimit = 1 << 12

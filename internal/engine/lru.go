@@ -1,0 +1,69 @@
+package engine
+
+import "container/list"
+
+// lruCache is a bounded map with least-recently-used eviction. The
+// engine's caches used to stop admitting entries once full, which froze
+// whatever happened to arrive first and disabled caching for every later
+// workload; LRU keeps the hot set live instead. Not safe for concurrent
+// use — each cache sits behind its owner's mutex.
+type lruCache[K comparable, V any] struct {
+	limit     int
+	ll        *list.List
+	items     map[K]*list.Element
+	evictions uint64
+}
+
+type lruEntry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// newLRU returns a cache holding at most limit entries (limit ≥ 1).
+func newLRU[K comparable, V any](limit int) *lruCache[K, V] {
+	if limit < 1 {
+		limit = 1
+	}
+	return &lruCache[K, V]{
+		limit: limit,
+		ll:    list.New(),
+		items: make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value for k, marking it most recently used.
+func (c *lruCache[K, V]) Get(k K) (V, bool) {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts (k, v), evicting the least recently used entry when the
+// cache is full. If k is already present its existing value is kept and
+// returned — first writer wins, so concurrent builders converge on one
+// shared instance.
+func (c *lruCache[K, V]) Add(k K, v V) V {
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[K, V]).val
+	}
+	if c.ll.Len() >= c.limit {
+		oldest := c.ll.Back()
+		if oldest != nil {
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*lruEntry[K, V]).key)
+			c.evictions++
+		}
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry[K, V]{key: k, val: v})
+	return v
+}
+
+// Len reports the current entry count.
+func (c *lruCache[K, V]) Len() int { return c.ll.Len() }
+
+// Evictions reports how many entries have been evicted since creation.
+func (c *lruCache[K, V]) Evictions() uint64 { return c.evictions }

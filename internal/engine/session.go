@@ -32,11 +32,12 @@ type Config struct {
 	// model refuted at all?" queries (explore's pruning phase).
 	StopOnInfeasible bool
 	// ForceExact routes every verdict straight to the exact rational
-	// simplex, bypassing the float64 revised-simplex filter of the
-	// two-tier solver. Verdicts are identical either way (the filter's
-	// certificates are verified exactly and anything unverifiable falls
-	// back); the knob exists for benchmarking the tiers against each other
-	// and as an operational escape hatch.
+	// simplex, bypassing the float64 revised-simplex filter, the
+	// warm-start dual simplex and the content-addressed verdict cache.
+	// Verdicts are identical either way (every accelerated path is
+	// exactly verified or exactly equivalent); the knob exists for
+	// benchmarking the accelerated paths against the cold baseline and as
+	// an operational escape hatch.
 	ForceExact bool
 	// EphemeralObservations marks the session's observations as
 	// request-scoped data that will never be evaluated again: confidence
@@ -102,9 +103,9 @@ const sessionCacheLimit = 1 << 12
 // share a session.
 func (e *Engine) SessionFor(m *core.Model, cfg Config) (*Session, error) {
 	k := sessionKey{model: m, cfg: cfg.withDefaults()}
-	e.sessMu.RLock()
-	s, ok := e.sessions[k]
-	e.sessMu.RUnlock()
+	e.sessMu.Lock()
+	s, ok := e.sessions.Get(k)
+	e.sessMu.Unlock()
 	if ok {
 		return s, nil
 	}
@@ -115,11 +116,7 @@ func (e *Engine) SessionFor(m *core.Model, cfg Config) (*Session, error) {
 		return nil, err
 	}
 	e.sessMu.Lock()
-	if prev, ok := e.sessions[k]; ok {
-		s = prev
-	} else if len(e.sessions) < sessionCacheLimit {
-		e.sessions[k] = s
-	}
+	s = e.sessions.Add(k, s) // first writer wins
 	e.sessMu.Unlock()
 	return s, nil
 }
@@ -141,14 +138,21 @@ func (s *Session) Restrict(set *counters.Set) (*Session, error) {
 	return s.eng.NewSession(m, s.cfg)
 }
 
-// test evaluates one observation using pooled scratch state and the
+// test evaluates one observation using pooled scratch state, the
 // engine-wide region and LP caches (or, for ephemeral sessions, fresh
-// uncached structures that die with the verdict).
+// uncached structures that die with the verdict), and the
+// content-addressed verdict cache. A verdict-cache hit skips the solve
+// entirely — the region's violation report is closed-form, so the full
+// Verdict is still reconstructed. Both paths consult the cache: an
+// ephemeral observation pays one canonicalization pass for the chance
+// that its LP content was seen before (possibly in a previous process,
+// via the persistent store).
 func (s *Session) test(sc *evalScratch, o *counters.Observation) (*core.Verdict, error) {
 	var (
-		r   *stats.Region
-		p   *simplex.Problem
-		err error
+		r    *stats.Region
+		p    *simplex.Problem
+		hash core.LPHash
+		err  error
 	)
 	if s.cfg.EphemeralObservations {
 		r, err = s.eng.regions.RegionUncached(o, s.model.Set, s.cfg.Confidence, s.cfg.Mode)
@@ -159,21 +163,32 @@ func (s *Session) test(sc *evalScratch, o *counters.Observation) (*core.Verdict,
 		if err := s.model.RegionLP(p, r); err != nil {
 			return nil, err
 		}
+		hash = core.HashLP(p)
 	} else {
 		r, err = s.eng.regions.Region(o, s.model.Set, s.cfg.Confidence, s.cfg.Mode)
 		if err != nil {
 			return nil, err
 		}
-		p, err = s.eng.lpFor(s.model, r, sc)
+		p, hash, err = s.eng.lpFor(s.model, r)
 		if err != nil {
 			return nil, err
 		}
 	}
-	sv := core.Solver{Exact: sc.ws, Filter: sc.fl, Cert: sc.cert, Stats: s.eng.solver}
+	var v *core.Verdict
 	if s.cfg.ForceExact {
-		sv.Filter = nil
+		// The pure cold baseline: no float filter, no warm starts, no
+		// verdict cache — every evaluation is a from-scratch exact solve.
+		sv := core.Solver{Exact: sc.ws, Cert: sc.cert, Stats: s.eng.solver}
+		v, err = s.model.TestRegionLP(&sv, p, r, s.cfg.IdentifyViolations)
+	} else if feasible, ok := s.eng.cachedVerdict(hash); ok {
+		v, err = s.model.VerdictForRegion(r, feasible, s.cfg.IdentifyViolations)
+	} else {
+		sv := core.Solver{Exact: sc.ws, Filter: sc.fl, Cert: sc.cert, Stats: s.eng.solver, Warm: sc.warmFor(s.model)}
+		v, err = s.model.TestRegionLP(&sv, p, r, s.cfg.IdentifyViolations)
+		if err == nil {
+			s.eng.storeVerdict(hash, v.Feasible)
+		}
 	}
-	v, err := s.model.TestRegionLP(&sv, p, r, s.cfg.IdentifyViolations)
 	if err != nil {
 		return nil, err
 	}

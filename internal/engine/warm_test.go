@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/counters"
+)
+
+// driftCorpus builds a walk-style corpus: every observation holds the
+// same noise samples shifted by a per-observation constant, so the
+// sample covariance — and therefore the region axes — are bit-identical
+// across the corpus while the region bounds drift. Consecutive
+// feasibility LPs then share their coefficient rows and differ only in
+// right-hand sides: exactly the workload the warm-start dual simplex
+// re-enters a cached basis for.
+func driftCorpus(set *counters.Set, n, samples int, base []float64, step []float64, seed int64) []*counters.Observation {
+	rng := rand.New(rand.NewSource(seed))
+	noise := make([][]float64, samples)
+	for i := range noise {
+		noise[i] = make([]float64, set.Len())
+		for j := range noise[i] {
+			noise[i][j] = rng.NormFloat64()
+		}
+	}
+	out := make([]*counters.Observation, n)
+	for k := 0; k < n; k++ {
+		o := counters.NewObservation(fmt.Sprintf("drift%d", k), set)
+		for _, nv := range noise {
+			v := make([]float64, set.Len())
+			for j := range v {
+				v[j] = base[j] + float64(k)*step[j] + nv[j]
+			}
+			o.Append(v)
+		}
+		out[k] = o
+	}
+	return out
+}
+
+// TestWarmStartEquivalence drives a drifting-bounds corpus through a
+// default session and a ForceExact (cold baseline) session on separate
+// engines: the warm-start path must actually fire and every verdict must
+// match the cold baseline bit-for-bit.
+func TestWarmStartEquivalence(t *testing.T) {
+	set := pdeSet()
+	corpus := driftCorpus(set, 24, 60, []float64{500, 200}, []float64{4, 2.5}, 17)
+
+	cold := New(WithWorkers(1))
+	defer cold.Close()
+	cs, err := cold.NewSession(pdeModel(t), Config{ForceExact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cs.Evaluate(context.Background(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker and batch = corpus so one scratch's warm solver sees the
+	// whole drift sequence in order.
+	warm := New(WithWorkers(1))
+	defer warm.Close()
+	wsess, err := warm.NewSession(pdeModel(t), Config{BatchSize: len(corpus)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := wsess.Evaluate(context.Background(), corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmRes.Total != coldRes.Total {
+		t.Fatalf("totals diverge: %d vs %d", warmRes.Total, coldRes.Total)
+	}
+	for i := range coldRes.Verdicts {
+		if warmRes.Verdicts[i].Feasible != coldRes.Verdicts[i].Feasible {
+			t.Fatalf("verdict %d diverges: warm %v, cold %v",
+				i, warmRes.Verdicts[i].Feasible, coldRes.Verdicts[i].Feasible)
+		}
+	}
+	c := warm.SolverStats()
+	if c.WarmSolves == 0 {
+		t.Fatalf("warm-start dual simplex never fired on a drifting-bounds corpus: %+v", c)
+	}
+	t.Logf("warm solves: %d/%d, mean dual pivots per warm start: %.2f",
+		c.WarmSolves, c.Evaluations, c.MeanWarmPivots())
+}

@@ -332,25 +332,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // statsJSON surfaces the engine's two-tier solver telemetry: how many
 // feasibility LPs were decided, how many the float64 filter settled with a
-// verified certificate, and how many fell back to the exact rational
-// simplex (the fallback rate is the service's honesty metric — it is
-// reported, never hidden).
+// verified certificate, how many fell back to the exact rational simplex
+// (the fallback rate is the service's honesty metric — it is reported,
+// never hidden), how many re-entered a warm-started dual-simplex basis,
+// and how the engine's content-addressed caches performed.
 type statsJSON struct {
 	core.SolverCounts
-	FilterHits uint64 `json:"filter_hits"`
-	Models     int    `json:"models"`
-	Workers    int    `json:"workers"`
-	Regions    int    `json:"cached_regions"`
+	FilterHits     uint64             `json:"filter_hits"`
+	MeanWarmPivots float64            `json:"mean_warm_pivots"`
+	Caches         engine.CacheCounts `json:"caches"`
+	Models         int                `json:"models"`
+	Workers        int                `json:"workers"`
+	Regions        int                `json:"cached_regions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	counts := s.eng.SolverStats()
 	writeJSON(w, http.StatusOK, statsJSON{
-		SolverCounts: counts,
-		FilterHits:   counts.FilterHits(),
-		Models:       s.reg.Len(),
-		Workers:      s.eng.Workers(),
-		Regions:      s.eng.Regions().Len(),
+		SolverCounts:   counts,
+		FilterHits:     counts.FilterHits(),
+		MeanWarmPivots: counts.MeanWarmPivots(),
+		Caches:         s.eng.CacheStats(),
+		Models:         s.reg.Len(),
+		Workers:        s.eng.Workers(),
+		Regions:        s.eng.Regions().Len(),
 	})
 }
 

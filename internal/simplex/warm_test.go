@@ -1,0 +1,269 @@
+package simplex
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// warmRef solves p cold through a fresh big.Rat-capable workspace.
+func warmRef(t *testing.T, ws *Workspace, p *Problem) bool {
+	t.Helper()
+	return ws.SolveStatus(p) == Optimal
+}
+
+// buildRandomLP builds a random feasibility LP over n variables with m
+// LE/GE rows whose coefficients and bounds are small dyadic rationals —
+// the shape RegionLP produces.
+func buildRandomLP(rng *rand.Rand, p *Problem, n, m int) {
+	p.Reset(n)
+	for i := 0; i < m; i++ {
+		rel := LE
+		if rng.Intn(3) == 0 {
+			rel = GE
+		}
+		coeffs, rhs := p.GrowConstraint(rel)
+		nz := 0
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			coeffs[j].SetFrac64(int64(rng.Intn(17)-8), int64(1<<uint(rng.Intn(4))))
+			if coeffs[j].Sign() != 0 {
+				nz++
+			}
+		}
+		_ = nz // zero rows are legal and must be handled
+		rhs.SetFrac64(int64(rng.Intn(33)-16), int64(1<<uint(rng.Intn(5))))
+	}
+}
+
+// mutateLP applies a small random structural edit to p: a bound change,
+// a row addition, a row deletion, or a row permutation (which must be
+// invisible to the canonical matcher).
+func mutateLP(rng *rand.Rand, p *Problem) {
+	if len(p.Constraints) == 0 {
+		coeffs, rhs := p.GrowConstraint(LE)
+		coeffs[rng.Intn(len(coeffs))].SetInt64(1)
+		rhs.SetInt64(int64(rng.Intn(9) - 4))
+		return
+	}
+	switch rng.Intn(4) {
+	case 0: // bound change
+		i := rng.Intn(len(p.Constraints))
+		p.Constraints[i].RHS.SetFrac64(int64(rng.Intn(65)-32), int64(1<<uint(rng.Intn(5))))
+		p.Invalidate()
+	case 1: // row addition
+		rel := LE
+		if rng.Intn(3) == 0 {
+			rel = GE
+		}
+		coeffs, rhs := p.GrowConstraint(rel)
+		for j := range coeffs {
+			if rng.Intn(2) == 0 {
+				coeffs[j].SetFrac64(int64(rng.Intn(17)-8), int64(1<<uint(rng.Intn(4))))
+			}
+		}
+		rhs.SetFrac64(int64(rng.Intn(33)-16), int64(1<<uint(rng.Intn(5))))
+	case 2: // row deletion
+		i := rng.Intn(len(p.Constraints))
+		last := len(p.Constraints) - 1
+		p.Constraints[i], p.Constraints[last] = p.Constraints[last], p.Constraints[i]
+		p.Constraints = p.Constraints[:last]
+		p.Invalidate()
+	case 3: // row permutation
+		rng.Shuffle(len(p.Constraints), func(i, j int) {
+			p.Constraints[i], p.Constraints[j] = p.Constraints[j], p.Constraints[i]
+		})
+		p.Invalidate()
+	}
+}
+
+// TestWarmSolverDifferential drives WarmSolver through randomized
+// mutation sequences, checking every supported verdict against a cold
+// solve of the identical problem. The fraction-free exact-division
+// asserts inside the kernel arithmetic double as invariant checks: a
+// bookkeeping bug in the warm tableau panics instead of lying.
+func TestWarmSolverDifferential(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ws := NewWorkspace()
+		warm := NewWarmSolver()
+		p := NewProblem(0)
+		n := 2 + rng.Intn(5)
+		m := 1 + rng.Intn(8)
+		buildRandomLP(rng, p, n, m)
+		supportedVerdicts := 0
+		for step := 0; step < 60; step++ {
+			want := warmRef(t, ws, p)
+			got, ok := warm.Feasible(p)
+			if ok {
+				supportedVerdicts++
+				if got != want {
+					t.Fatalf("seed %d step %d: warm verdict %v, cold verdict %v (m=%d)",
+						seed, step, got, want, len(p.Constraints))
+				}
+			}
+			mutateLP(rng, p)
+		}
+		if supportedVerdicts == 0 {
+			t.Fatalf("seed %d: warm solver never engaged", seed)
+		}
+	}
+}
+
+// TestWarmSolverRepeatedSolve checks the sighting protocol: the first
+// sighting of a family is declined, the second seeds (cold), and later
+// re-solves of near-identical LPs reuse the basis.
+func TestWarmSolverRepeatedSolve(t *testing.T) {
+	warm := NewWarmSolver()
+	p := NewProblem(3)
+	coeffs, rhs := p.GrowConstraint(LE)
+	coeffs[0].SetInt64(1)
+	coeffs[1].SetInt64(2)
+	rhs.SetInt64(10)
+	coeffs, rhs = p.GrowConstraint(GE)
+	coeffs[1].SetInt64(1)
+	coeffs[2].SetInt64(1)
+	rhs.SetInt64(2)
+
+	if _, ok := warm.Feasible(p); ok {
+		t.Fatal("first sighting should be declined")
+	}
+	feas, ok := warm.Feasible(p)
+	if !ok || !feas {
+		t.Fatalf("second sighting: got (%v, %v), want (true, true)", feas, ok)
+	}
+	if warmed, _ := warm.LastSolve(); warmed {
+		t.Fatal("second sighting should be a cold seed, not a warm solve")
+	}
+
+	// Bound drift: same coefficient rows, new rhs — must warm-start.
+	p.Constraints[0].RHS.SetInt64(12)
+	p.Invalidate()
+	feas, ok = warm.Feasible(p)
+	if !ok || !feas {
+		t.Fatalf("bound drift: got (%v, %v), want (true, true)", feas, ok)
+	}
+	if warmed, _ := warm.LastSolve(); !warmed {
+		t.Fatal("bound drift should reuse the cached basis")
+	}
+
+	// Tighten to infeasibility: x1+2x2 ≤ −1 with x ≥ 0 has no solution.
+	p.Constraints[0].RHS.SetInt64(-1)
+	p.Invalidate()
+	feas, ok = warm.Feasible(p)
+	if !ok || feas {
+		t.Fatalf("infeasible drift: got (%v, %v), want (false, true)", feas, ok)
+	}
+}
+
+// TestWarmSolverUnsupported pins the bail-outs: objectives, equality
+// rows and free variables are all outside the warm domain.
+func TestWarmSolverUnsupported(t *testing.T) {
+	warm := NewWarmSolver()
+
+	obj := NewProblem(2)
+	obj.Objective = exact.NewVec(2)
+	c, r := obj.GrowConstraint(LE)
+	c[0].SetInt64(1)
+	r.SetInt64(1)
+	if _, ok := warm.Feasible(obj); ok {
+		t.Fatal("objective LP must be unsupported")
+	}
+
+	eq := NewProblem(2)
+	c, r = eq.GrowConstraint(EQ)
+	c[0].SetInt64(1)
+	r.SetInt64(1)
+	if _, ok := warm.Feasible(eq); ok {
+		t.Fatal("equality row must be unsupported")
+	}
+
+	free := NewProblem(2)
+	free.MarkFree(1)
+	c, r = free.GrowConstraint(LE)
+	c[0].SetInt64(1)
+	r.SetInt64(1)
+	if _, ok := warm.Feasible(free); ok {
+		t.Fatal("free variable must be unsupported")
+	}
+}
+
+// TestWarmSolverRowPermutation checks that reordering rows is invisible:
+// a permuted family still warm-starts and agrees with the cold verdict.
+func TestWarmSolverRowPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ws := NewWorkspace()
+	warm := NewWarmSolver()
+	p := NewProblem(4)
+	buildRandomLP(rng, p, 4, 6)
+	warm.Feasible(p) // prime
+	if _, ok := warm.Feasible(p); !ok {
+		t.Fatal("second sighting should seed")
+	}
+	for trial := 0; trial < 10; trial++ {
+		rng.Shuffle(len(p.Constraints), func(i, j int) {
+			p.Constraints[i], p.Constraints[j] = p.Constraints[j], p.Constraints[i]
+		})
+		p.Invalidate()
+		want := warmRef(t, ws, p)
+		got, ok := warm.Feasible(p)
+		if !ok {
+			t.Fatalf("trial %d: permuted family should stay supported", trial)
+		}
+		if got != want {
+			t.Fatalf("trial %d: warm %v, cold %v", trial, got, want)
+		}
+	}
+}
+
+// TestWarmSolverZeroRow exercises degenerate all-zero coefficient rows,
+// whose canonical form keeps only the bound's sign.
+func TestWarmSolverZeroRow(t *testing.T) {
+	ws := NewWorkspace()
+	for _, rhs := range []int64{-3, 0, 5} {
+		warm := NewWarmSolver()
+		p := NewProblem(2)
+		c, r := p.GrowConstraint(LE)
+		c[0].SetInt64(1)
+		r.SetInt64(4)
+		_, zr := p.GrowConstraint(LE) // zero row: 0 ≤ rhs
+		zr.SetInt64(rhs)
+		warm.Feasible(p)
+		got, ok := warm.Feasible(p)
+		if !ok {
+			t.Fatalf("rhs=%d: zero row should be supported", rhs)
+		}
+		want := warmRef(t, ws, p)
+		if got != want {
+			t.Fatalf("rhs=%d: warm %v, cold %v", rhs, got, want)
+		}
+	}
+}
+
+// TestWarmSolverLowOverlapDeclines checks the seed-on-second-sighting
+// policy: a structurally unrelated LP neither warms nor seeds.
+func TestWarmSolverLowOverlapDeclines(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	warm := NewWarmSolver()
+	p := NewProblem(4)
+	buildRandomLP(rng, p, 4, 6)
+	warm.Feasible(p)
+	if _, ok := warm.Feasible(p); !ok {
+		t.Fatal("second sighting should seed")
+	}
+	q := NewProblem(4)
+	for i := 0; i < 6; i++ {
+		c, r := q.GrowConstraint(LE)
+		for j := range c {
+			c[j].SetFrac(big.NewInt(int64(100+13*i+j)), big.NewInt(7))
+		}
+		r.SetInt64(int64(50 + i))
+	}
+	if _, ok := warm.Feasible(q); ok {
+		t.Fatal("unrelated family should be declined, not solved from the stale basis")
+	}
+}

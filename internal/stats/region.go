@@ -1,7 +1,11 @@
 package stats
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/counters"
@@ -130,6 +134,37 @@ func quantizeAxes(axes [][]float64) [][]float64 {
 		out[i] = q
 	}
 	return out
+}
+
+// Key returns a compact content key for the region: a hash over the
+// counter set, noise mode, confidence level, and the exact float64 bit
+// patterns of the mean, axes and half-widths. Two regions with equal
+// keys produce bit-identical feasibility LPs downstream, so the engine
+// uses the key (with the model's content key) to address its LP cache.
+func (r *Region) Key() string {
+	h := sha256.New()
+	io.WriteString(h, r.Set.Key())
+	var scratch [8]byte
+	word := func(bits uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], bits)
+		h.Write(scratch[:])
+	}
+	word(uint64(r.Mode))
+	word(math.Float64bits(r.Confidence))
+	word(uint64(len(r.Mean)))
+	for _, v := range r.Mean {
+		word(math.Float64bits(v))
+	}
+	for _, axis := range r.Axes {
+		for _, v := range axis {
+			word(math.Float64bits(v))
+		}
+	}
+	for _, v := range r.HalfWidths {
+		word(math.Float64bits(v))
+	}
+	sum := h.Sum(scratch[:0:0])
+	return hex.EncodeToString(sum[:16])
 }
 
 // Contains reports whether v lies inside the bounding box.

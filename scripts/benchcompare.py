@@ -3,15 +3,19 @@
 
 Usage:
     scripts/benchcompare.py OLD.json NEW.json [--guard PATTERN MAXRATIO]
+                                              [--guard-ns PATTERN MAXRATIO]
 
 Prints one line per benchmark present in either file with the % delta for
 ns/op and allocs/op (negative = improvement).
 
 With --guard, exits non-zero if any benchmark whose name matches the regex
 PATTERN regressed its allocs/op by more than MAXRATIO (e.g. 1.2 = +20%) —
-CI uses this to keep the exact-path allocation budget honest. Benchmarks
-present on only one side are reported but never fail the guard (they are
-additions or removals, not regressions).
+CI uses this to keep the exact-path allocation budget honest. --guard-ns
+gates ns/op the same way (use it only for benchmarks whose wall time is
+dominated by work that cannot vanish into noise, like the warm-start path
+vs its cold baseline). Benchmarks present on only one side are reported
+but never fail either guard (they are additions or removals, not
+regressions).
 """
 import json
 import re
@@ -32,14 +36,19 @@ def fmt_delta(old, new):
     return f"{100.0 * (new - old) / old:+8.1f}%"
 
 
+def pop_guard(args, flag):
+    if flag not in args:
+        return None, None, args
+    i = args.index(flag)
+    pat = re.compile(args[i + 1])
+    ratio = float(args[i + 2])
+    return pat, ratio, args[:i] + args[i + 3 :]
+
+
 def main():
     args = sys.argv[1:]
-    guard_pat, guard_ratio = None, None
-    if "--guard" in args:
-        i = args.index("--guard")
-        guard_pat = re.compile(args[i + 1])
-        guard_ratio = float(args[i + 2])
-        args = args[:i] + args[i + 3 :]
+    guard_pat, guard_ratio, args = pop_guard(args, "--guard")
+    ns_pat, ns_ratio, args = pop_guard(args, "--guard-ns")
     if len(args) != 2:
         sys.exit(__doc__)
     old, new = load(args[0]), load(args[1])
@@ -62,13 +71,21 @@ def main():
             and wal is not None
             and wal > oal * guard_ratio
         ):
-            failures.append((n, oal, wal))
+            failures.append((n, "allocs/op", oal, wal, guard_ratio))
+        if (
+            ns_pat is not None
+            and ns_pat.search(n)
+            and ons not in (None, 0)
+            and wns is not None
+            and wns > ons * ns_ratio
+        ):
+            failures.append((n, "ns/op", ons, wns, ns_ratio))
     if failures:
         print()
-        for n, oal, wal in failures:
+        for n, metric, oval, wval, ratio in failures:
             print(
-                f"GUARD FAIL: {n} allocs/op {oal} -> {wal} "
-                f"(> {guard_ratio:g}x budget)",
+                f"GUARD FAIL: {n} {metric} {oval} -> {wval} "
+                f"(> {ratio:g}x budget)",
                 file=sys.stderr,
             )
         sys.exit(1)

@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
-# CI bench smoke + allocation guard: runs the solver benchmarks briefly,
-# then fails if any exact-path benchmark's allocs/op regressed by more
-# than 20% against the committed BENCH_results.json baseline. Allocation
-# counts are deterministic enough to gate in CI (unlike ns/op, which moves
-# with the runner's hardware — the % deltas are printed but never gate).
+# CI bench smoke + regression guard: runs the solver benchmarks briefly,
+# then fails against the committed BENCH_results.json baseline if
+#   - any exact-path benchmark's allocs/op regressed by more than 20%, or
+#   - the warm-start / verdict-cache-hit benchmarks regressed ns/op or
+#     allocs/op by more than 20% (their wall time is the point of the
+#     warm tier, so it gates; the other benchmarks' ns/op deltas are
+#     printed but never gate — they move with the runner's hardware).
+#
+# The smoke benchmarks run a fixed short -benchtime; the gated warm
+# benchmarks run the default 1s benchtime so their ns/op converges the
+# same way the recorded baseline did (short fixed-count runs are too
+# sensitive to transient CPU state to gate at a 20% budget).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility}"
+GUARDBENCH="${GUARDBENCH:-WalkWarmStart|VerdictCacheHit}"
 BENCHTIME="${BENCHTIME:-50x}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
 
-go test -run=NONE -bench "${BENCH}" -benchmem -benchtime="${BENCHTIME}" -timeout 30m . | tee "${TMP}/bench.txt"
+{
+  go test -run=NONE -bench "${BENCH}" -benchmem -benchtime="${BENCHTIME}" -timeout 30m .
+  go test -run=NONE -bench "${GUARDBENCH}" -benchmem -timeout 30m . ./internal/engine
+} | tee "${TMP}/bench.txt"
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -f scripts/benchjson.awk "${TMP}/bench.txt" > "${TMP}/bench.json"
 
-scripts/benchcompare.py BENCH_results.json "${TMP}/bench.json" --guard '/exact$' 1.2
+scripts/benchcompare.py BENCH_results.json "${TMP}/bench.json" \
+  --guard '/exact$|WalkWarmStart/warm$|VerdictCacheHit' 1.2 \
+  --guard-ns 'WalkWarmStart/warm$|VerdictCacheHit' 1.2
