@@ -8,11 +8,12 @@
 // more. One engine serves every request, so confidence-region, LP and
 // session caches stay warm across the whole traffic stream.
 //
-// Alongside synchronous verdicts the daemon runs asynchronous exploration
-// jobs — the paper's §5 / Appendix C guided discovery/elimination search —
-// behind POST /v1/explore and the /v1/jobs endpoints: bounded concurrent
-// jobs, NDJSON progress streams, cancellation, and resume-from-checkpoint.
-// See docs/API.md for the endpoint reference.
+// Alongside synchronous verdicts the daemon runs asynchronous jobs behind
+// the /v1/jobs endpoints — the paper's §5 / Appendix C guided
+// discovery/elimination search (POST /v1/explore) and hidden-event-space
+// sweeps over raw event×umask×cmask config grids (POST /v1/sweep) — with
+// bounded concurrent jobs, NDJSON progress streams, cancellation, and
+// resume-from-checkpoint. See docs/API.md for the endpoint reference.
 //
 // Usage:
 //
@@ -27,9 +28,10 @@
 //	-exact             force the exact LP tier (disable the float filter)
 //	-max-concurrent n  cap on simultaneous evaluations (default GOMAXPROCS)
 //	-workers n         engine worker pool size (default GOMAXPROCS)
-//	-max-jobs n        cap on concurrently running exploration jobs (default 2)
+//	-max-jobs n        cap on concurrently running jobs (default 2)
 //	-job-history n     ring of finished jobs kept queryable (default 64)
 //	-job-ttl d         how long finished jobs stay queryable (default 1h)
+//	-max-sweep-cells n cap on a sweep request's expanded grid size (default 8192)
 //	-no-catalog        start with an empty model registry
 //	-verdict-db path   persistent content-addressed verdict store; cached
 //	                   feasibility verdicts survive restarts (off by default)
@@ -104,6 +106,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		maxJobs       = fs.Int("max-jobs", jobs.DefaultMaxConcurrent, "cap on concurrently running exploration jobs")
 		jobHistory    = fs.Int("job-history", jobs.DefaultMaxRetained, "how many finished exploration jobs stay queryable")
 		jobTTL        = fs.Duration("job-ttl", jobs.DefaultRetainFor, "how long finished exploration jobs stay queryable")
+		maxSweepCells = fs.Int("max-sweep-cells", server.DefaultMaxSweepCells, "cap on a sweep request's expanded grid size")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
 		verdictDB     = fs.String("verdict-db", "", "path to the persistent verdict store; cached feasibility verdicts survive restarts (empty disables)")
 		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); bind loopback only, e.g. 127.0.0.1:6060")
@@ -113,6 +116,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *confidence <= 0 || *confidence >= 1 {
 		return fmt.Errorf("confidence must be in (0,1), got %g", *confidence)
+	}
+	if *maxSweepCells < 1 {
+		return fmt.Errorf("max-sweep-cells must be positive, got %d", *maxSweepCells)
 	}
 
 	engOpts := []engine.Option{engine.WithWorkers(*workers)}
@@ -149,6 +155,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxConcurrent: *maxConcurrent,
 		Catalog:       catalog,
 		Jobs:          jm,
+		MaxSweepCells: *maxSweepCells,
 	})
 
 	// Profiling endpoint: off by default, on its own mux and listener so

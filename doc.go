@@ -32,8 +32,11 @@
 //     progress events, checkpoint/restore, and the #if/#endif DSL
 //     template builder;
 //   - internal/jobs — the asynchronous job manager running exploration
-//     searches: bounded concurrency, event-log replay, retained results
-//     with TTL, cancel and resume-from-checkpoint;
+//     searches and sweeps: bounded concurrency, event-log replay, retained
+//     results with TTL, cancel and kind-dispatched resume-from-checkpoint;
+//   - internal/sweep — the hidden-event-space sweep workload: raw
+//     event×umask×cmask grids decoded into synthetic derived counters
+//     over a simulated base corpus;
 //   - internal/server — the HTTP/JSON feasibility service over the engine
 //     and the jobs API over the manager;
 //   - internal/haswell, internal/pagetable, internal/memsim,

@@ -1,0 +1,266 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/haswell"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+// SweepSpec describes one hidden-event-space sweep job: every cell of a
+// raw event×umask×cmask grid is decoded into a synthetic counter
+// behaviour and tested against the hypothesis model. See package sweep
+// for the decoding rules.
+type SweepSpec struct {
+	// Grid is the raw config space to scan.
+	Grid sweep.Grid
+	// Seed drives the decoder and — when Base is nil — the base corpus
+	// simulation. The entire sweep is a pure function of (Grid, Seed,
+	// Samples, UopsPerSample), which is what makes resume bit-identical.
+	Seed int64
+	// Samples and UopsPerSample size the simulated base corpus (defaults
+	// from sweep.DefaultBaseSpec). Ignored when Base is set.
+	Samples       int
+	UopsPerSample int
+	// Base supplies a pre-built base corpus; nil builds one inside the
+	// job (so slow simulation does not block submission).
+	Base []*counters.Observation
+	// Confidence, Mode and ForceExact tune the evaluation session; zero
+	// values mean 99%, correlated noise, two-tier solver.
+	Confidence float64
+	Mode       stats.NoiseMode
+	ForceExact bool
+	// Engine hosts the evaluation session. nil gives the job a private
+	// engine created at start and closed at completion. The service
+	// passes its shared engine so the sweep's cache dedup shows up in
+	// GET /stats.
+	Engine *engine.Engine
+
+	// afterCell, when set, runs after each cell commits (test hook for
+	// deterministic mid-grid cancellation).
+	afterCell func(index int)
+}
+
+func (spec SweepSpec) validate() error {
+	if err := spec.Grid.Validate(); err != nil {
+		return err
+	}
+	if spec.Confidence != 0 && (spec.Confidence <= 0 || spec.Confidence >= 1) {
+		return fmt.Errorf("jobs: sweep confidence must be in (0, 1), got %g", spec.Confidence)
+	}
+	return nil
+}
+
+// SweepCell is one grid cell's outcome: the encoding and its per-base-
+// observation verdict counts. Cells double as the job's checkpoint, so
+// the type must round-trip deterministically.
+type SweepCell struct {
+	Index      int    `json:"index"`
+	Code       string `json:"code"`
+	Event      uint8  `json:"event"`
+	Umask      uint8  `json:"umask"`
+	Cmask      uint8  `json:"cmask"`
+	Sig        string `json:"sig"`
+	Feasible   int    `json:"feasible"`
+	Infeasible int    `json:"infeasible"`
+	// Consistent means no base observation refuted the encoding: its
+	// behaviour could be the walk_ref aggregate the model expects.
+	Consistent bool `json:"consistent"`
+}
+
+// SweepEventData is the Data payload of sweep progress events: "corpus"
+// when the job builds its base corpus, "restored" when it resumes from a
+// checkpoint, and "cell" per committed grid cell.
+type SweepEventData struct {
+	Cell  *SweepCell `json:"cell,omitempty"`
+	Count int        `json:"count,omitempty"`
+}
+
+// SweepResult is a sweep job's result payload.
+type SweepResult struct {
+	GridSize         int `json:"grid_size"`
+	BaseObservations int `json:"base_observations"`
+	// UniqueBehaviours counts distinct decoded behaviours among the cells
+	// this run evaluated — the dedup denominator: every cell beyond it
+	// re-used a prior derivation.
+	UniqueBehaviours int `json:"unique_behaviours"`
+	// Consistent / Refuted partition the grid by verdict.
+	Consistent int `json:"consistent"`
+	Refuted    int `json:"refuted"`
+	// Verdicts counts engine tests across all cells (cache hits included).
+	Verdicts int         `json:"verdicts"`
+	Cells    []SweepCell `json:"cells"`
+}
+
+// SubmitSweep queues a sweep job for spec. Progress is streamed through
+// the job's event log (one "cell" event per committed grid cell); the
+// committed cell list is checkpointed on every exit path, so ResumeSweep
+// can continue a cancelled or failed scan from its last completed cell.
+func (m *Manager) SubmitSweep(spec SweepSpec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	return m.submit("sweep", sweepRunner(spec, nil), spec, "")
+}
+
+// ResumeSweep submits a new job that continues id's scan from its last
+// checkpoint: committed cells are restored verbatim and only the
+// remaining grid suffix is evaluated. Determinism of the decoder and the
+// base corpus makes the finished cell list bit-identical to an
+// uninterrupted run. The source job must be terminal (cancel it first
+// otherwise) and must have been submitted by SubmitSweep or ResumeSweep.
+func (m *Manager) ResumeSweep(id string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	spec, ok := j.Spec().(SweepSpec)
+	if !ok {
+		return nil, fmt.Errorf("jobs: job %s is not a sweep job", id)
+	}
+	if state := j.State(); !state.Terminal() {
+		return nil, fmt.Errorf("%w: %s is %s; cancel it before resuming", ErrActive, id, state)
+	}
+	checkpoint, _ := j.Checkpoint().([]SweepCell)
+	return m.submit("sweep", sweepRunner(spec, checkpoint), spec, id)
+}
+
+// Resume continues a terminal job from its checkpoint, dispatching on the
+// kind it was submitted as. It is the generic entry point behind
+// POST /v1/jobs/{id}/resume.
+func (m *Manager) Resume(id string) (*Job, error) {
+	j, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	switch j.Spec().(type) {
+	case ExploreSpec:
+		return m.ResumeExplore(id)
+	case SweepSpec:
+		return m.ResumeSweep(id)
+	}
+	return nil, fmt.Errorf("jobs: job %s (kind %q) is not resumable", id, j.Status().Kind)
+}
+
+func sweepRunner(spec SweepSpec, restore []SweepCell) Runner {
+	return func(ctx context.Context, job *Job) (any, error) {
+		eng := spec.Engine
+		if eng == nil {
+			eng = engine.New()
+			defer eng.Close()
+		}
+		base := spec.Base
+		if len(base) == 0 {
+			var err error
+			base, err = sweep.BuildBaseCorpus(ctx, sweep.BaseSpec{
+				Samples:       spec.Samples,
+				UopsPerSample: spec.UopsPerSample,
+				Seed:          spec.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("jobs: build sweep corpus: %w", err)
+			}
+			job.Emit("corpus", SweepEventData{Count: len(base)})
+		}
+		// The hypothesis model is the walker the documented event semantics
+		// describe: the discovered feature set minus walk bypassing, so
+		// walk_ref must account for every completed walk's loads. Under the
+		// full discovered model walk_ref is unbounded below (bypassed walks
+		// reference nothing) and every non-negative column is feasible —
+		// the hypothesis would be unfalsifiable. Against the no-bypass
+		// reference the architectural encoding stays feasible (replays are
+		// rare enough to sit inside the confidence region) while almost
+		// every other encoding is refuted.
+		feats := haswell.DiscoveredModelFeatures()
+		feats.WalkBypass = false
+		model, err := haswell.BuildModel("sweep/walker-reference", feats, haswell.AnalysisSet())
+		if err != nil {
+			return nil, fmt.Errorf("jobs: build sweep model: %w", err)
+		}
+		dec, err := sweep.NewDecoder(spec.Seed, base, model.Set)
+		if err != nil {
+			return nil, err
+		}
+		// Non-ephemeral observations on purpose: aliased cells re-present
+		// the same observation pointers, so the engine's region cache —
+		// and through content hashes the LP and verdict caches — absorb
+		// the grid's redundancy. That dedup is the point of the workload.
+		sess, err := eng.NewSession(model, engine.Config{
+			Confidence: spec.Confidence,
+			Mode:       spec.Mode,
+			ForceExact: spec.ForceExact,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		cells := spec.Grid.Cells()
+		if len(restore) > len(cells) {
+			return nil, fmt.Errorf("jobs: sweep checkpoint has %d cells for a %d-cell grid", len(restore), len(cells))
+		}
+		results := append([]SweepCell(nil), restore...)
+		// The checkpoint is the committed cell list. Taken on every exit
+		// path — success, error, cancellation, panic — so interrupted
+		// scans resume from their last completed cell.
+		defer func() {
+			job.SetCheckpoint(append([]SweepCell(nil), results...))
+		}()
+		if len(restore) > 0 {
+			job.Emit("restored", SweepEventData{Count: len(restore)})
+		}
+
+		for i := len(results); i < len(cells); i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			cfg := cells[i]
+			dv := dec.Decode(cfg)
+			cell := SweepCell{
+				Index: i,
+				Code:  cfg.String(),
+				Event: cfg.Event,
+				Umask: cfg.Umask,
+				Cmask: cfg.Cmask,
+				Sig:   dv.Sig,
+			}
+			for _, o := range dv.Corpus {
+				v, err := sess.Test(ctx, o)
+				if err != nil {
+					return nil, fmt.Errorf("jobs: sweep cell %s: %w", cfg, err)
+				}
+				if v.Feasible {
+					cell.Feasible++
+				} else {
+					cell.Infeasible++
+				}
+			}
+			cell.Consistent = cell.Infeasible == 0
+			results = append(results, cell)
+			c := cell
+			job.Emit("cell", SweepEventData{Cell: &c})
+			if spec.afterCell != nil {
+				spec.afterCell(i)
+			}
+		}
+
+		res := &SweepResult{
+			GridSize:         len(cells),
+			BaseObservations: len(base),
+			UniqueBehaviours: dec.UniqueBehaviours(),
+			Cells:            results,
+		}
+		for _, c := range results {
+			res.Verdicts += c.Feasible + c.Infeasible
+			if c.Consistent {
+				res.Consistent++
+			} else {
+				res.Refuted++
+			}
+		}
+		return res, nil
+	}
+}

@@ -1,0 +1,285 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/engine"
+	"repro/internal/haswell"
+	"repro/internal/sweep"
+)
+
+// sweepTestBase hand-builds a deterministic base corpus over the
+// ground-truth set (no simulation — jobs tests exercise the scan
+// machinery, not the simulator).
+func sweepTestBase() []*counters.Observation {
+	gt := haswell.GroundTruthSet()
+	var out []*counters.Observation
+	for k := 0; k < 2; k++ {
+		// Integer-valued samples on purpose: the exact solver's rationals
+		// stay small, so the cold (cache-miss) pass stays test-sized.
+		o := counters.NewObservation("synthetic", gt)
+		rng := rand.New(rand.NewSource(int64(k + 1)))
+		for s := 0; s < 6; s++ {
+			row := make([]float64, gt.Len())
+			for j := range row {
+				row[j] = float64((k*83+j*29)%300 + rng.Intn(25))
+			}
+			o.Append(row)
+		}
+		out = append(out, haswell.WithAggregateWalkRef(o))
+	}
+	return out
+}
+
+func sweepTestGrid() sweep.Grid {
+	return sweep.Grid{
+		Events: []uint8{0x42, sweep.EventPageWalkerLoads},
+		Umasks: []uint8{0x01, 0x0F, 0x1F},
+		Cmasks: []uint8{0x00, 0x10},
+	}
+}
+
+func testSweepSpec(eng *engine.Engine) SweepSpec {
+	return SweepSpec{
+		Grid:   sweepTestGrid(),
+		Seed:   7,
+		Base:   sweepTestBase(),
+		Engine: eng,
+	}
+}
+
+func TestSweepJobRunsToCompletionAndDedups(t *testing.T) {
+	eng := engine.New()
+	defer eng.Close()
+	m := NewManager(Options{})
+	defer m.Close()
+	j, err := m.SubmitSweep(testSweepSpec(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := j.Result().(*SweepResult)
+	if !ok {
+		t.Fatalf("result type %T", j.Result())
+	}
+	grid := sweepTestGrid()
+	if res.GridSize != grid.Size() || len(res.Cells) != grid.Size() {
+		t.Fatalf("grid size: %+v", res)
+	}
+	if res.BaseObservations != 2 || res.Verdicts != grid.Size()*2 {
+		t.Fatalf("verdict accounting: %+v", res)
+	}
+	if res.Consistent+res.Refuted != grid.Size() {
+		t.Fatalf("partition: %+v", res)
+	}
+	// Umask 0x1F aliases 0x0F on both events, so the grid must decode to
+	// strictly fewer behaviours than cells...
+	if res.UniqueBehaviours >= grid.Size() {
+		t.Fatalf("no dedup: %d behaviours for %d cells", res.UniqueBehaviours, grid.Size())
+	}
+	// ...and the aliased re-tests must land in the engine's caches:
+	// dedup observable, not assumed.
+	cs := eng.CacheStats()
+	if cs.LPHits == 0 || cs.VerdictHits == 0 {
+		t.Fatalf("aliased cells missed the caches: %+v", cs)
+	}
+	for i, c := range res.Cells {
+		if c.Index != i {
+			t.Fatalf("cell %d misindexed: %+v", i, c)
+		}
+		if c.Feasible+c.Infeasible != 2 {
+			t.Fatalf("cell %d verdict count: %+v", i, c)
+		}
+	}
+	// The event log narrates the scan: one cell event per grid cell.
+	kinds := map[string]int{}
+	for ev := range j.Events(context.Background(), 0) {
+		kinds[ev.Kind]++
+	}
+	if kinds["cell"] != grid.Size() || kinds["done"] != 1 {
+		t.Fatalf("event kinds: %v", kinds)
+	}
+}
+
+func TestSweepSpecValidation(t *testing.T) {
+	m := NewManager(Options{})
+	defer m.Close()
+	bad := []SweepSpec{
+		{},
+		{Grid: sweep.Grid{Events: []uint8{1}}},
+		{Grid: sweepTestGrid(), Confidence: 1.5},
+	}
+	for i, spec := range bad {
+		if _, err := m.SubmitSweep(spec); err == nil {
+			t.Fatalf("spec %d should be rejected", i)
+		}
+	}
+}
+
+// TestSweepResumeEquivalence cancels a sweep mid-grid and checks the
+// resumed job's cell list is bit-identical to an uninterrupted reference
+// run — the acceptance bar for checkpoint/resume on this job kind.
+func TestSweepResumeEquivalence(t *testing.T) {
+	eng := engine.New()
+	defer eng.Close()
+	m := NewManager(Options{})
+	defer m.Close()
+
+	ref, err := m.SubmitSweep(testSweepSpec(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Result().(*SweepResult)
+
+	// Gate the second run after cell 3 commits, cancel while it is
+	// blocked, then release it into the cancelled context.
+	blocked := make(chan struct{})
+	release := make(chan struct{})
+	spec := testSweepSpec(eng)
+	spec.afterCell = func(i int) {
+		if i == 3 {
+			close(blocked)
+			<-release
+		}
+	}
+	j, err := m.SubmitSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	if err := m.Cancel(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	if err := j.Wait(context.Background()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wait: %v", err)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("state: %s", j.State())
+	}
+	cp, ok := j.Checkpoint().([]SweepCell)
+	if !ok || len(cp) == 0 || len(cp) >= sweepTestGrid().Size() {
+		t.Fatalf("checkpoint: %d cells (ok=%v)", len(cp), ok)
+	}
+
+	r, err := m.ResumeSweep(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if r.Status().ResumedFrom != j.ID {
+		t.Fatalf("resumed_from: %q", r.Status().ResumedFrom)
+	}
+	got := r.Result().(*SweepResult)
+	if !reflect.DeepEqual(got.Cells, want.Cells) {
+		t.Fatalf("resumed cells differ from reference:\n got %+v\nwant %+v", got.Cells, want.Cells)
+	}
+	if got.Consistent != want.Consistent || got.Refuted != want.Refuted || got.Verdicts != want.Verdicts {
+		t.Fatalf("resumed summary differs: %+v vs %+v", got, want)
+	}
+	// The resumed job announces its restored prefix.
+	restored := false
+	for ev := range r.Events(context.Background(), 0) {
+		if ev.Kind == "restored" {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatal("no restored event")
+	}
+}
+
+func TestResumeDispatchesByKind(t *testing.T) {
+	eng := engine.New()
+	defer eng.Close()
+	m := NewManager(Options{})
+	defer m.Close()
+
+	if _, err := m.Resume("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("unknown id: %v", err)
+	}
+
+	// Sweep jobs resume through the generic entry point.
+	j, err := m.SubmitSweep(testSweepSpec(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Resume(j.ID); !errors.Is(err, ErrActive) {
+		t.Fatalf("active job: %v", err)
+	}
+	if err := j.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r, err := m.Resume(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r.Result().(*SweepResult).Cells, j.Result().(*SweepResult).Cells) {
+		t.Fatal("generic resume of a finished sweep should replay its cells")
+	}
+
+	// Explore jobs dispatch too.
+	e, err := m.SubmitExplore(testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Resume(e.ID); err != nil {
+		t.Fatalf("explore dispatch: %v", err)
+	}
+
+	// Jobs with no resumable spec are rejected.
+	plain, err := m.Submit("noop", func(ctx context.Context, job *Job) (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Resume(plain.ID); err == nil {
+		t.Fatal("plain job should not be resumable")
+	}
+}
+
+// BenchmarkSweepGrid measures a full small-grid scan against a warm
+// shared engine: after the first iteration every cell's LP and verdict
+// are content-cache hits, so a dedup regression (cache rekeying, region
+// identity loss) shows up directly in ns/op and allocs/op.
+func BenchmarkSweepGrid(b *testing.B) {
+	eng := engine.New()
+	defer eng.Close()
+	m := NewManager(Options{})
+	defer m.Close()
+	spec := testSweepSpec(eng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := m.SubmitSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if j.Result().(*SweepResult).Verdicts == 0 {
+			b.Fatal("no verdicts")
+		}
+	}
+}

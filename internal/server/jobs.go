@@ -1,10 +1,11 @@
 package server
 
-// The exploration jobs API: the network surface of internal/jobs, serving
-// the paper's §5 / Appendix C guided search (Figures 7, 8 and 10) as
-// asynchronous, resumable HTTP jobs.
+// The jobs API: the network surface of internal/jobs, serving the paper's
+// §5 / Appendix C guided search (Figures 7, 8 and 10) — and, via sweep.go,
+// the hidden-event-space scans — as asynchronous, resumable HTTP jobs.
 //
 //	POST   /v1/explore            submit an exploration job
+//	POST   /v1/sweep              submit a sweep job (sweep.go)
 //	GET    /v1/jobs               list jobs (live and retained)
 //	GET    /v1/jobs/{id}          one job's status and result
 //	GET    /v1/jobs/{id}/events   NDJSON progress stream (replay + live)
@@ -276,7 +277,9 @@ func (s *Server) handleJobResume(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	nj, err := s.jobs.ResumeExplore(j.ID)
+	// Resume dispatches on the job's kind (explore, sweep), so one
+	// endpoint serves every resumable job family.
+	nj, err := s.jobs.Resume(j.ID)
 	if err != nil {
 		status := http.StatusConflict
 		if errors.Is(err, jobs.ErrUnknownJob) {

@@ -18,7 +18,8 @@
 //	POST /v1/models/{name}/evaluate      corpus (JSON or multipart CSV) -> aggregate
 //	POST /v1/models/{name}/evaluate/stream  corpus -> NDJSON verdict stream
 //	POST /v1/explore                     submit an exploration job
-//	GET  /v1/jobs                        list exploration jobs
+//	POST /v1/sweep                       submit a hidden-event-space sweep job
+//	GET  /v1/jobs                        list jobs
 //	GET  /v1/jobs/{id}                   job status and result
 //	GET  /v1/jobs/{id}/events            NDJSON progress stream (replay + live)
 //	POST /v1/jobs/{id}/resume            resume a terminal job from its checkpoint
@@ -34,7 +35,11 @@
 // endpoints are the asynchronous counterpart (see jobs.go and
 // internal/jobs): exploration searches outlive any one request, progress
 // streams replay and resume, and a disconnected watcher never cancels the
-// job it was watching. See docs/API.md for the full endpoint reference.
+// job it was watching. POST /v1/sweep scans a raw event×umask×cmask config
+// grid for encodings consistent with the page-walker reference count
+// (sweep.go and internal/sweep); sweeps share the engine, so their grid-
+// cell dedup shows up in /stats. See docs/API.md for the full endpoint
+// reference.
 package server
 
 import (
@@ -80,11 +85,14 @@ type Options struct {
 	MaxBodyBytes int64
 	// Catalog seeds the registry at construction (sources compile lazily).
 	Catalog []Model
-	// Jobs manages the asynchronous exploration jobs behind /v1/explore
+	// Jobs manages the asynchronous jobs behind /v1/explore, /v1/sweep
 	// and /v1/jobs. nil creates a manager with jobs.Options defaults; pass
 	// one explicitly to tune concurrency/retention and to Close it on
 	// shutdown (counterpointd does).
 	Jobs *jobs.Manager
+	// MaxSweepCells caps the expanded grid size a POST /v1/sweep request
+	// may submit; 0 means DefaultMaxSweepCells.
+	MaxSweepCells int
 }
 
 // Server is the HTTP feasibility service. Create with New; it implements
@@ -97,6 +105,8 @@ type Server struct {
 	bodyLimit int64
 	mux       *http.ServeMux
 	jobs      *jobs.Manager
+
+	maxSweepCells int
 }
 
 // New builds a Server from opts.
@@ -108,6 +118,11 @@ func New(opts Options) *Server {
 		bodyLimit: opts.MaxBodyBytes,
 		mux:       http.NewServeMux(),
 		jobs:      opts.Jobs,
+
+		maxSweepCells: opts.MaxSweepCells,
+	}
+	if s.maxSweepCells <= 0 {
+		s.maxSweepCells = DefaultMaxSweepCells
 	}
 	if s.eng == nil {
 		s.eng = engine.Default()
@@ -131,6 +146,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/models/{name}/evaluate", s.handleEvaluate)
 	s.mux.HandleFunc("POST /v1/models/{name}/evaluate/stream", s.handleEvaluateStream)
 	s.mux.HandleFunc("POST /v1/explore", s.handleExploreSubmit)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweepSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)

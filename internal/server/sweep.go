@@ -1,0 +1,124 @@
+package server
+
+// The hidden-event-space sweep API: POST /v1/sweep submits a jobs.SweepSpec
+// scan of a raw event×umask×cmask grid (see internal/sweep for the
+// decoding model). Sweeps run on the server's SHARED engine on purpose —
+// the grid's aliasing is the service's cache stress test, and GET /stats
+// must show the LP/verdict dedup it produces. The job machinery (events,
+// resume, delete) is shared with exploration via /v1/jobs.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/jobs"
+	"repro/internal/sweep"
+)
+
+// DefaultMaxSweepCells bounds a submitted grid's cell count unless
+// Options.MaxSweepCells says otherwise: large enough for a 100×-catalogue
+// scan, small enough that one request cannot queue an unbounded amount of
+// simulation + solving.
+const DefaultMaxSweepCells = 8192
+
+// sweepRequestJSON is the POST /v1/sweep body. Axis values are plain JSON
+// numbers in [0, 255]; omitting all three axes selects sweep.DefaultGrid.
+type sweepRequestJSON struct {
+	Events []int `json:"events,omitempty"`
+	Umasks []int `json:"umasks,omitempty"`
+	Cmasks []int `json:"cmasks,omitempty"`
+	// Seed drives the decoder and the simulated base corpus; the whole
+	// sweep is a pure function of (grid, seed, samples, uops_per_sample).
+	Seed int64 `json:"seed,omitempty"`
+	// Samples and UopsPerSample size the simulated base corpus (defaults
+	// from sweep.DefaultBaseSpec).
+	Samples       int `json:"samples,omitempty"`
+	UopsPerSample int `json:"uops_per_sample,omitempty"`
+}
+
+type sweepSubmitJSON struct {
+	jobs.Status
+	// GridSize echoes the expanded cell count the job will scan.
+	GridSize int `json:"grid_size"`
+}
+
+// sweepAxis converts one JSON axis, range-checking every value.
+func sweepAxis(name string, vals []int) ([]uint8, error) {
+	out := make([]uint8, 0, len(vals))
+	for _, v := range vals {
+		if v < 0 || v > 255 {
+			return nil, fmt.Errorf("%s value %d out of range [0, 255]", name, v)
+		}
+		out = append(out, uint8(v))
+	}
+	return out, nil
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var req sweepRequestJSON
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	cfg, err := s.requestConfig(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Samples < 0 || req.UopsPerSample < 0 {
+		writeError(w, http.StatusBadRequest, "samples and uops_per_sample must be non-negative")
+		return
+	}
+
+	grid := sweep.DefaultGrid()
+	if len(req.Events) != 0 || len(req.Umasks) != 0 || len(req.Cmasks) != 0 {
+		if len(req.Events) == 0 || len(req.Umasks) == 0 || len(req.Cmasks) == 0 {
+			writeError(w, http.StatusBadRequest,
+				"a custom grid needs all three axes (events, umasks, cmasks); omit all three for the default grid")
+			return
+		}
+		var err error
+		if grid.Events, err = sweepAxis("events", req.Events); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if grid.Umasks, err = sweepAxis("umasks", req.Umasks); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if grid.Cmasks, err = sweepAxis("cmasks", req.Cmasks); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if grid.Size() > s.maxSweepCells {
+		writeError(w, http.StatusBadRequest,
+			"grid has %d cells, cap is %d (server -max-sweep-cells)", grid.Size(), s.maxSweepCells)
+		return
+	}
+
+	j, err := s.jobs.SubmitSweep(jobs.SweepSpec{
+		Grid:          grid,
+		Seed:          req.Seed,
+		Samples:       req.Samples,
+		UopsPerSample: req.UopsPerSample,
+		Confidence:    cfg.Confidence,
+		Mode:          cfg.Mode,
+		ForceExact:    cfg.ForceExact,
+		// The shared engine, not a per-job one: aliased grid cells must
+		// land in the service's content-addressed caches, where /stats
+		// makes the dedup observable.
+		Engine: s.eng,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, jobs.ErrClosed) || errors.Is(err, jobs.ErrQueueFull) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sweepSubmitJSON{Status: j.Status(), GridSize: grid.Size()})
+}

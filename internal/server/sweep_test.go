@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/haswell"
+	"repro/internal/jobs"
+	"repro/internal/sweep"
+)
+
+// sweepResultJSON mirrors jobs.SweepResult as it travels over the wire.
+type sweepResultJSON struct {
+	GridSize         int `json:"grid_size"`
+	BaseObservations int `json:"base_observations"`
+	UniqueBehaviours int `json:"unique_behaviours"`
+	Consistent       int `json:"consistent"`
+	Refuted          int `json:"refuted"`
+	Verdicts         int `json:"verdicts"`
+	Cells            []struct {
+		Index      int    `json:"index"`
+		Code       string `json:"code"`
+		Event      uint8  `json:"event"`
+		Umask      uint8  `json:"umask"`
+		Cmask      uint8  `json:"cmask"`
+		Sig        string `json:"sig"`
+		Feasible   int    `json:"feasible"`
+		Infeasible int    `json:"infeasible"`
+		Consistent bool   `json:"consistent"`
+	} `json:"cells"`
+}
+
+func sweepResultOf(t *testing.T, st jobs.Status) sweepResultJSON {
+	t.Helper()
+	raw, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res sweepResultJSON
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sweepBody keeps the simulated base corpus test-sized; the grid (the
+// default, 384 cells) is what carries the scale.
+func sweepBody() map[string]any {
+	return map[string]any{"seed": 1, "samples": 8, "uops_per_sample": 1500}
+}
+
+// TestSweepEndToEnd is the acceptance-criteria test: a default-grid sweep
+// (>=10x the haswell-mmu catalogue) submitted through POST /v1/sweep is
+// cancelled mid-grid from its event stream, resumed through the generic
+// resume endpoint, and its finished cell list is bit-identical to an
+// uninterrupted run of the same spec — while GET /stats shows the LP and
+// verdict cache hits the grid's aliasing must produce.
+func TestSweepEndToEnd(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+
+	resp := postJSON(t, ts.URL+"/v1/sweep", sweepBody())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	var sub struct {
+		jobs.Status
+		GridSize int `json:"grid_size"`
+	}
+	decodeBody(t, resp, &sub)
+	wantGrid := sweep.DefaultGrid().Size()
+	if sub.ID == "" || sub.Kind != "sweep" || sub.GridSize != wantGrid {
+		t.Fatalf("submission: %+v", sub)
+	}
+	if cat := len(haswell.Catalog()); sub.GridSize < 10*cat {
+		t.Fatalf("grid %d cells is not >=10x the %d-model catalogue", sub.GridSize, cat)
+	}
+
+	// Follow the event stream and cancel after the fifth committed cell —
+	// mid-grid by construction.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("event line %q: %v", sc.Text(), err)
+		}
+		if ev.Kind == "cell" {
+			cells++
+			if cells == 5 {
+				dreq, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+sub.ID, nil)
+				dresp, err := http.DefaultClient.Do(dreq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dresp.Body.Close()
+			}
+		}
+	}
+	sresp.Body.Close()
+	st := awaitJob(t, ts.URL, sub.ID)
+	if st.State != jobs.StateCancelled {
+		t.Fatalf("after mid-grid DELETE: %s (%s)", st.State, st.Error)
+	}
+	if cells >= wantGrid {
+		t.Fatalf("cancellation landed after the grid finished (%d cells)", cells)
+	}
+
+	// Resume through the kind-dispatching endpoint.
+	rresp, err := http.Post(ts.URL+"/v1/jobs/"+sub.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume status %d", rresp.StatusCode)
+	}
+	var rsub jobs.Status
+	decodeBody(t, rresp, &rsub)
+	if rsub.ResumedFrom != sub.ID {
+		t.Fatalf("resumed from %q, want %q", rsub.ResumedFrom, sub.ID)
+	}
+	rst := awaitJob(t, ts.URL, rsub.ID)
+	if rst.State != jobs.StateDone {
+		t.Fatalf("resumed job: %s (%s)", rst.State, rst.Error)
+	}
+	resumed := sweepResultOf(t, rst)
+
+	// The resumed job announced its restored prefix.
+	eresp, err := http.Get(ts.URL + "/v1/jobs/" + rsub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := false
+	esc := bufio.NewScanner(eresp.Body)
+	esc.Buffer(make([]byte, 1<<20), 1<<20)
+	for esc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(esc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "restored" {
+			restored = true
+		}
+	}
+	eresp.Body.Close()
+	if !restored {
+		t.Fatal("resumed job emitted no restored event")
+	}
+
+	// An uninterrupted run of the same spec must agree cell for cell.
+	var refSub jobs.Status
+	decodeBody(t, postJSON(t, ts.URL+"/v1/sweep", sweepBody()), &refSub)
+	refSt := awaitJob(t, ts.URL, refSub.ID)
+	if refSt.State != jobs.StateDone {
+		t.Fatalf("reference job: %s (%s)", refSt.State, refSt.Error)
+	}
+	ref := sweepResultOf(t, refSt)
+	if !reflect.DeepEqual(resumed.Cells, ref.Cells) {
+		t.Fatalf("resumed cells are not bit-identical to the uninterrupted run")
+	}
+	if resumed.Consistent != ref.Consistent || resumed.Refuted != ref.Refuted {
+		t.Fatalf("summaries diverge: %+v vs %+v", resumed, ref)
+	}
+
+	// The scan discriminates: most encodings are refuted, the
+	// architectural page_walker_loads encoding survives.
+	if ref.GridSize != wantGrid || len(ref.Cells) != wantGrid || ref.Verdicts != wantGrid*ref.BaseObservations {
+		t.Fatalf("result accounting: %+v", ref)
+	}
+	if ref.Refuted == 0 || ref.Consistent == 0 {
+		t.Fatalf("degenerate verdict split: %+v", ref)
+	}
+	if ref.UniqueBehaviours >= wantGrid {
+		t.Fatalf("no aliasing across the grid: %d behaviours", ref.UniqueBehaviours)
+	}
+	arch := fmt.Sprintf("%#x", uint32(0x0F)<<8|uint32(sweep.EventPageWalkerLoads))
+	found := false
+	for _, c := range ref.Cells {
+		if c.Code == arch {
+			found = true
+			if !c.Consistent {
+				t.Fatalf("architectural encoding refuted: %+v", c)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("architectural cell %s missing from results", arch)
+	}
+
+	// Dedup observable, not assumed: the grid's aliased cells landed in
+	// the shared engine's content-addressed caches.
+	var stats struct {
+		Caches struct {
+			LPHits       uint64 `json:"lp_hits"`
+			VerdictHits  uint64 `json:"verdict_hits"`
+			LPMisses     uint64 `json:"lp_misses"`
+			VerdictMiss  uint64 `json:"verdict_misses"`
+			LPEntries    int    `json:"lp_entries"`
+			VerdictEntry int    `json:"verdict_entries"`
+		} `json:"caches"`
+	}
+	gresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody(t, gresp, &stats)
+	if stats.Caches.LPHits == 0 || stats.Caches.VerdictHits == 0 {
+		t.Fatalf("no cache hits across grid cells: %+v", stats.Caches)
+	}
+	if stats.Caches.LPHits < stats.Caches.LPMisses {
+		t.Fatalf("grid dedup should dominate misses: %+v", stats.Caches)
+	}
+}
+
+func TestSweepSubmitValidation(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+	cases := []struct {
+		name   string
+		body   map[string]any
+		query  string
+		status int
+		substr string
+	}{
+		{"partial axes", map[string]any{"events": []int{1}}, "", http.StatusBadRequest, "all three axes"},
+		{"axis range", map[string]any{"events": []int{1}, "umasks": []int{300}, "cmasks": []int{0}}, "", http.StatusBadRequest, "out of range"},
+		{"negative axis", map[string]any{"events": []int{-1}, "umasks": []int{1}, "cmasks": []int{0}}, "", http.StatusBadRequest, "out of range"},
+		{"negative samples", map[string]any{"samples": -1}, "", http.StatusBadRequest, "non-negative"},
+		{"bad confidence", map[string]any{}, "?confidence=2", http.StatusBadRequest, "confidence"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp := postJSON(t, ts.URL+"/v1/sweep"+tc.query, tc.body)
+			wantError(t, resp, tc.status, tc.substr)
+		})
+	}
+}
+
+func TestSweepGridCap(t *testing.T) {
+	jm := jobs.NewManager(jobs.Options{})
+	t.Cleanup(jm.Close)
+	ts := newTestServer(t, func(o *Options) {
+		o.Jobs = jm
+		o.MaxSweepCells = 10
+	})
+	resp := postJSON(t, ts.URL+"/v1/sweep", map[string]any{})
+	wantError(t, resp, http.StatusBadRequest, "cap is 10")
+	// An in-cap custom grid is accepted.
+	ok := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
+		"events": []int{0xBC}, "umasks": []int{0x0F}, "cmasks": []int{0},
+		"samples": 2, "uops_per_sample": 200,
+	})
+	if ok.StatusCode != http.StatusAccepted {
+		t.Fatalf("custom grid status %d", ok.StatusCode)
+	}
+	var sub jobs.Status
+	decodeBody(t, ok, &sub)
+	st := awaitJob(t, ts.URL, sub.ID)
+	if st.State != jobs.StateDone {
+		t.Fatalf("tiny sweep: %s (%s)", st.State, st.Error)
+	}
+}

@@ -1,0 +1,240 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/haswell"
+)
+
+// makeBase hand-builds a tiny deterministic base corpus (no simulation):
+// two observations over the ground-truth set, values below 256, extended
+// with the walk_ref aggregate like the real corpus.
+func makeBase(t *testing.T) []*counters.Observation {
+	t.Helper()
+	gt := haswell.GroundTruthSet()
+	var out []*counters.Observation
+	for k := 0; k < 2; k++ {
+		o := counters.NewObservation("synthetic", gt)
+		for s := 0; s < 3; s++ {
+			row := make([]float64, gt.Len())
+			for j := range row {
+				row[j] = float64((k*97 + s*31 + j*7) % 200)
+			}
+			o.Append(row)
+		}
+		out = append(out, haswell.WithAggregateWalkRef(o))
+	}
+	return out
+}
+
+func TestGridCellsOrderAndSize(t *testing.T) {
+	g := Grid{Events: []uint8{0x10, 0x20}, Umasks: []uint8{0x01, 0x03}, Cmasks: []uint8{0x00}}
+	if g.Size() != 4 {
+		t.Fatalf("size: %d", g.Size())
+	}
+	cells := g.Cells()
+	want := []RawConfig{
+		{0x10, 0x01, 0x00}, {0x10, 0x03, 0x00},
+		{0x20, 0x01, 0x00}, {0x20, 0x03, 0x00},
+	}
+	if !reflect.DeepEqual(cells, want) {
+		t.Fatalf("cells: %v", cells)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Grid{Events: []uint8{1}}).Validate(); err == nil {
+		t.Fatal("empty axes should be rejected")
+	}
+}
+
+func TestDefaultGridDwarfsCatalogue(t *testing.T) {
+	g := DefaultGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cat := len(haswell.Catalog())
+	if g.Size() < 10*cat {
+		t.Fatalf("default grid has %d cells, want >= 10x the %d-model catalogue", g.Size(), cat)
+	}
+	// The architectural selector must be part of the stock scan.
+	found := false
+	for _, e := range g.Events {
+		if e == EventPageWalkerLoads {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("default grid omits event %#x", EventPageWalkerLoads)
+	}
+}
+
+func TestRawConfigCode(t *testing.T) {
+	c := RawConfig{Event: 0x0D, Umask: 0x03, Cmask: 0x01}
+	if c.Code() != 0x100030D {
+		t.Fatalf("code: %#x", c.Code())
+	}
+	if c.String() != "0x100030d" {
+		t.Fatalf("string: %q", c)
+	}
+}
+
+func TestDecoderDeterministicAcrossInstances(t *testing.T) {
+	base := makeBase(t)
+	target := haswell.AnalysisSet()
+	d1, err := NewDecoder(7, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDecoder(7, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range DefaultGrid().Cells() {
+		a, b := d1.Decode(cfg), d2.Decode(cfg)
+		if a.Sig != b.Sig {
+			t.Fatalf("%s: signatures diverge: %q vs %q", cfg, a.Sig, b.Sig)
+		}
+		for i := range a.Corpus {
+			if !reflect.DeepEqual(a.Corpus[i].Samples, b.Corpus[i].Samples) {
+				t.Fatalf("%s: derived samples diverge at obs %d", cfg, i)
+			}
+		}
+	}
+	if d1.UniqueBehaviours() != d2.UniqueBehaviours() {
+		t.Fatalf("behaviour counts diverge: %d vs %d", d1.UniqueBehaviours(), d2.UniqueBehaviours())
+	}
+	if d1.UniqueBehaviours() >= DefaultGrid().Size() {
+		t.Fatalf("no aliasing across %d cells (%d behaviours)", DefaultGrid().Size(), d1.UniqueBehaviours())
+	}
+}
+
+func TestDecoderUmaskAliasing(t *testing.T) {
+	d, err := NewDecoder(1, makeBase(t), haswell.AnalysisSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Umask bits at or above BankSlots are ignored: 0x1F and 0x0F alias,
+	// 0x11 and 0x01 alias — and aliasing means the SAME derivation back,
+	// pointer for pointer (that is what feeds the engine's region cache).
+	pairs := [][2]RawConfig{
+		{{Event: 0x42, Umask: 0x0F}, {Event: 0x42, Umask: 0x1F}},
+		{{Event: 0x42, Umask: 0x01}, {Event: 0x42, Umask: 0x11}},
+		{{Event: 0x42, Umask: 0xFF}, {Event: 0x42, Umask: 0x0F}},
+	}
+	for _, p := range pairs {
+		a, b := d.Decode(p[0]), d.Decode(p[1])
+		if a != b {
+			t.Fatalf("%s and %s should alias to one *Derived", p[0], p[1])
+		}
+		for i := range a.Corpus {
+			if a.Corpus[i] != b.Corpus[i] {
+				t.Fatalf("aliased derivations must share observation pointers")
+			}
+		}
+	}
+	if a, b := d.Decode(RawConfig{Event: 0x42, Umask: 0x01}), d.Decode(RawConfig{Event: 0x42, Umask: 0x03}); a == b {
+		t.Fatalf("distinct umasks should not alias")
+	}
+}
+
+func TestDecoderCmaskGatesToZero(t *testing.T) {
+	d, err := NewDecoder(1, makeBase(t), haswell.AnalysisSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := d.Decode(RawConfig{Event: 0x42, Umask: 0x00})
+	if zero.Sig != "zero" {
+		t.Fatalf("umask 0 signature: %q", zero.Sig)
+	}
+	// Synthetic base values stay under 200 per column, so a threshold of
+	// 0x10<<8 = 4096 gates every sample: different signature, identical
+	// derived content (content-level aliasing the LP cache must catch).
+	gated := d.Decode(RawConfig{Event: 0x42, Umask: 0x0F, Cmask: 0x10})
+	if gated == zero {
+		t.Fatal("distinct signatures should not share a derivation")
+	}
+	agg, _ := haswell.AnalysisSet().Index(haswell.AggregateWalkRef)
+	for i := range gated.Corpus {
+		for s, row := range gated.Corpus[i].Samples {
+			if row[agg] != 0 {
+				t.Fatalf("obs %d sample %d: gated value %g, want 0", i, s, row[agg])
+			}
+			if !reflect.DeepEqual(row, zero.Corpus[i].Samples[s]) {
+				t.Fatalf("obs %d sample %d: gated row differs from zero row", i, s)
+			}
+		}
+	}
+}
+
+// TestDecoderArchitecturalEvent pins the feasible alias: event 0xBC with
+// umask 0x0F at cmask 0 must reproduce the walk_ref aggregate exactly, so
+// its derived corpus is the base corpus projected onto the analysis set.
+func TestDecoderArchitecturalEvent(t *testing.T) {
+	base := makeBase(t)
+	target := haswell.AnalysisSet()
+	d, err := NewDecoder(99, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dv := d.Decode(RawConfig{Event: EventPageWalkerLoads, Umask: 0x0F})
+	for i, o := range dv.Corpus {
+		want := base[i].Project(target)
+		if !reflect.DeepEqual(o.Samples, want.Samples) {
+			t.Fatalf("obs %d: architectural derivation differs from base projection", i)
+		}
+	}
+}
+
+func TestDecoderRejectsBadInputs(t *testing.T) {
+	base := makeBase(t)
+	if _, err := NewDecoder(1, nil, haswell.AnalysisSet()); err == nil {
+		t.Fatal("empty base should be rejected")
+	}
+	// Target without the walk_ref aggregate has nothing to synthesise into.
+	if _, err := NewDecoder(1, base, haswell.GroundTruthSet()); err == nil {
+		t.Fatal("target without the aggregate should be rejected")
+	}
+	// Mixed base sets.
+	mixed := append([]*counters.Observation{}, base...)
+	mixed = append(mixed, counters.NewObservation("odd", counters.NewSet("a", "b")))
+	if _, err := NewDecoder(1, mixed, haswell.AnalysisSet()); err == nil {
+		t.Fatal("mixed base sets should be rejected")
+	}
+}
+
+func TestBuildBaseCorpusDeterministic(t *testing.T) {
+	spec := BaseSpec{Samples: 2, UopsPerSample: 400, Seed: 5}
+	a, err := BuildBaseCorpus(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildBaseCorpus(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(baseEntries) {
+		t.Fatalf("corpus size: %d", len(a))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if a[i].Label != b[i].Label {
+			t.Fatalf("labels diverge: %q vs %q", a[i].Label, b[i].Label)
+		}
+		if seen[a[i].Label] {
+			t.Fatalf("duplicate label %q", a[i].Label)
+		}
+		seen[a[i].Label] = true
+		if !reflect.DeepEqual(a[i].Samples, b[i].Samples) {
+			t.Fatalf("corpus %q not bit-identical across builds", a[i].Label)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildBaseCorpus(ctx, spec); err == nil {
+		t.Fatal("cancelled context should abort the build")
+	}
+}

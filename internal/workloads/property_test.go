@@ -1,0 +1,123 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// generatorCase is one parameterisation of a Generator constructor, used to
+// check the package-wide contract every workload relies on — and that the
+// sweep's checkpoint/resume machinery depends on: accesses stay inside
+// [VABase, VABase+footprint), respect the generator's alignment, and replay
+// bit-identically for a fixed seed.
+type generatorCase struct {
+	name      string
+	footprint uint64
+	align     uint64 // every VA-VABase must be a multiple of this (0 skips)
+	mk        func() (Generator, error)
+}
+
+func propertyCases() []generatorCase {
+	var cases []generatorCase
+	add := func(name string, fp, align uint64, mk func() (Generator, error)) {
+		cases = append(cases, generatorCase{name: name, footprint: fp, align: align, mk: mk})
+	}
+	// Linear: dividing and non-dividing strides, both directions, with the
+	// regression parameters (fp=100, stride=64) included. Alignment is only
+	// guaranteed when the stride divides the footprint (otherwise offsets
+	// walk the full gcd lattice).
+	add("linear-asc-div", 4096, 64, func() (Generator, error) { return NewLinear(4096, 64, 1.0, false) })
+	add("linear-desc-div", 4096, 64, func() (Generator, error) { return NewLinear(4096, 64, 0.8, true) })
+	add("linear-asc-nondiv", 100, 4, func() (Generator, error) { return NewLinear(100, 64, 1.0, false) })
+	add("linear-desc-nondiv", 100, 4, func() (Generator, error) { return NewLinear(100, 64, 1.0, true) })
+	add("linear-desc-bigstride", 96, 0, func() (Generator, error) { return NewLinear(96, 1000, 1.0, true) })
+	add("random-small", 64, 8, func() (Generator, error) { return NewRandom(64, 1.0, 11) })
+	add("random-odd", 1<<20+13, 8, func() (Generator, error) { return NewRandom(1<<20+13, 0.5, 12) })
+	add("randomburst", 1<<20, 64, func() (Generator, error) { return NewRandomBurst(1<<20, 8, 0.9, 13) })
+	add("randomburst-onepage", 4096, 64, func() (Generator, error) { return NewRandomBurst(4096, 3, 1.0, 14) })
+	add("pointerchase", 64*128, 64, func() (Generator, error) { return NewPointerChase(64*128, 15) })
+	add("zipfian", 1<<18, 64, func() (Generator, error) { return NewZipfian(1<<18, 1.3, 0.7, 16) })
+	add("stencil", 4096, 64, func() (Generator, error) { return NewStencil(4096, 0.9) })
+	add("stencil-min", 192, 64, func() (Generator, error) { return NewStencil(192, 1.0) })
+	add("phased", 4096, 8, func() (Generator, error) {
+		a, err := NewLinear(4096, 64, 1.0, false)
+		if err != nil {
+			return nil, err
+		}
+		b, err := NewRandom(2048, 1.0, 17)
+		if err != nil {
+			return nil, err
+		}
+		return NewPhased(a, 5, b, 3)
+	})
+	return cases
+}
+
+func TestGeneratorsStayInFootprint(t *testing.T) {
+	const n = 10000
+	for _, tc := range propertyCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				a := g.Next()
+				if a.VA < VABase || a.VA >= VABase+tc.footprint {
+					t.Fatalf("access %d out of [VABase, VABase+%d): offset %d",
+						i, tc.footprint, int64(a.VA)-int64(VABase))
+				}
+			}
+		})
+	}
+}
+
+func TestGeneratorsRespectAlignment(t *testing.T) {
+	const n = 10000
+	for _, tc := range propertyCases() {
+		if tc.align == 0 {
+			continue
+		}
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				a := g.Next()
+				if (a.VA-VABase)%tc.align != 0 {
+					t.Fatalf("access %d misaligned: offset %d %% %d != 0",
+						i, a.VA-VABase, tc.align)
+				}
+			}
+		})
+	}
+}
+
+// TestGeneratorsReplayBitIdentically pins the determinism contract: two
+// generators built with identical parameters produce identical access
+// streams — VAs and load/store flags both. Sweep resume rebuilds its base
+// corpus from the same seeds and must get the same samples back.
+func TestGeneratorsReplayBitIdentically(t *testing.T) {
+	const n = 5000
+	for _, tc := range propertyCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			g1, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			g2, err := tc.mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g1.Name() != g2.Name() {
+				t.Fatalf("names diverge: %q vs %q", g1.Name(), g2.Name())
+			}
+			for i := 0; i < n; i++ {
+				a1, a2 := g1.Next(), g2.Next()
+				if a1 != a2 {
+					t.Fatalf("access %d diverged: %+v vs %+v", i, a1, a2)
+				}
+			}
+		})
+	}
+}

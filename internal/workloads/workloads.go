@@ -65,7 +65,7 @@ func storeEvery(loadRatio float64) int {
 type Linear struct {
 	name      string
 	footprint uint64
-	stride    uint64
+	step      uint64 // stride reduced mod footprint: all offset arithmetic stays in [0, footprint)
 	desc      bool
 	every     int
 	off       uint64
@@ -86,7 +86,7 @@ func NewLinear(footprint, stride uint64, loadRatio float64, descending bool) (*L
 		name: fmt.Sprintf("linear[fp=%d,stride=%d,load=%.2f,%s]",
 			footprint, stride, loadRatio, dir),
 		footprint: footprint,
-		stride:    stride,
+		step:      stride % footprint,
 		desc:      descending,
 		every:     storeEvery(loadRatio),
 	}, nil
@@ -99,11 +99,17 @@ func (l *Linear) Name() string { return l.name }
 func (l *Linear) Next() Access {
 	var va uint64
 	if l.desc {
-		va = VABase + (l.footprint-l.stride-l.off)%l.footprint
+		// The descending offset is -(off+step) mod footprint. Both operands
+		// are already reduced mod footprint, so the subtraction cannot wrap
+		// below zero the way footprint-stride-off did whenever stride did
+		// not divide footprint; the trailing %footprint folds the pos==0
+		// case back to offset 0.
+		pos := (l.off + l.step) % l.footprint
+		va = VABase + (l.footprint-pos)%l.footprint
 	} else {
 		va = VABase + l.off
 	}
-	l.off = (l.off + l.stride) % l.footprint
+	l.off = (l.off + l.step) % l.footprint
 	l.count++
 	isLoad := l.every == 0 || l.count%l.every != 0
 	return Access{VA: va, IsLoad: isLoad}
@@ -119,10 +125,12 @@ type Random struct {
 	count     int
 }
 
-// NewRandom builds a random generator with the given seed.
+// NewRandom builds a random generator with the given seed. The footprint
+// must cover at least one 8-byte slot: Next derives addresses from
+// footprint/8 slots, so footprints 1–7 would divide by zero.
 func NewRandom(footprint uint64, loadRatio float64, seed int64) (*Random, error) {
-	if footprint == 0 {
-		return nil, fmt.Errorf("workloads: random needs positive footprint")
+	if footprint < 8 {
+		return nil, fmt.Errorf("workloads: random needs a footprint of at least 8 bytes, got %d", footprint)
 	}
 	return &Random{
 		name:      fmt.Sprintf("random[fp=%d,load=%.2f]", footprint, loadRatio),

@@ -38,6 +38,44 @@ func TestLinearDescending(t *testing.T) {
 	}
 }
 
+// TestLinearDescendingNonDividingStride is the regression test for the
+// uint64 underflow in the descending offset arithmetic: with
+// footprint=100, stride=64 the old footprint-stride-off expression wrapped
+// below zero once off exceeded footprint-stride, producing 2^64-wrapped
+// addresses (offset 88 where the descending sweep should visit 72).
+func TestLinearDescendingNonDividingStride(t *testing.T) {
+	g, err := NewLinear(100, 64, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The descending sweep visits -(k+1)*64 mod 100.
+	want := []uint64{36, 72, 8, 44, 80, 16, 52, 88, 24, 60, 96, 32, 68, 4, 40}
+	for k, w := range want {
+		a := g.Next()
+		if a.VA != VABase+w {
+			t.Fatalf("access %d: offset %d, want %d", k, a.VA-VABase, w)
+		}
+		if a.VA < VABase || a.VA >= VABase+100 {
+			t.Fatalf("access %d escaped the footprint: %#x", k, a.VA)
+		}
+	}
+}
+
+// TestLinearDescendingStrideEqualsHalfFootprint pins the pos==0 edge: when
+// off+stride lands exactly on the footprint the descending offset must fold
+// back to 0, not footprint.
+func TestLinearDescendingStrideEqualsHalfFootprint(t *testing.T) {
+	g, err := NewLinear(128, 64, 1.0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, w := range []uint64{64, 0, 64, 0} {
+		if a := g.Next(); a.VA != VABase+w {
+			t.Fatalf("access %d: offset %d, want %d", k, a.VA-VABase, w)
+		}
+	}
+}
+
 func TestLinearStoreRatio(t *testing.T) {
 	g, err := NewLinear(1<<20, 64, 0.75, false)
 	if err != nil {
@@ -83,6 +121,60 @@ func TestRandomStaysInFootprint(t *testing.T) {
 		if a.VA < VABase || a.VA >= VABase+fp {
 			t.Fatalf("out of footprint: %#x", a.VA)
 		}
+	}
+}
+
+// TestRandomTinyFootprintRejected is the regression test for the
+// modulo-by-zero panic: NewRandom used to accept footprints 1–7, whose
+// footprint/8 slot count is zero, so the first Next panicked.
+func TestRandomTinyFootprintRejected(t *testing.T) {
+	for _, fp := range []uint64{0, 1, 4, 7} {
+		if _, err := NewRandom(fp, 1.0, 1); err == nil {
+			t.Errorf("footprint %d should be rejected", fp)
+		}
+	}
+	// The minimum footprint works and stays inside its single slot.
+	g, err := NewRandom(8, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a := g.Next(); a.VA != VABase {
+			t.Fatalf("one-slot footprint must pin VA to VABase, got %#x", a.VA)
+		}
+	}
+}
+
+// TestMinimumFootprints covers every generator's minimum-footprint edge the
+// same way: one byte under the minimum is rejected, the minimum itself
+// produces in-range accesses.
+func TestMinimumFootprints(t *testing.T) {
+	cases := []struct {
+		name string
+		min  uint64
+		mk   func(fp uint64) (Generator, error)
+	}{
+		{"random", 8, func(fp uint64) (Generator, error) { return NewRandom(fp, 1.0, 1) }},
+		{"randomburst", 4096, func(fp uint64) (Generator, error) { return NewRandomBurst(fp, 4, 1.0, 1) }},
+		{"zipfian", 128, func(fp uint64) (Generator, error) { return NewZipfian(fp, 1.2, 1.0, 1) }},
+		{"stencil", 192, func(fp uint64) (Generator, error) { return NewStencil(fp, 1.0) }},
+		{"pointerchase", 128, func(fp uint64) (Generator, error) { return NewPointerChase(fp, 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.mk(tc.min - 1); err == nil {
+				t.Fatalf("footprint %d should be rejected", tc.min-1)
+			}
+			g, err := tc.mk(tc.min)
+			if err != nil {
+				t.Fatalf("minimum footprint %d rejected: %v", tc.min, err)
+			}
+			for i := 0; i < 500; i++ {
+				if a := g.Next(); a.VA < VABase || a.VA >= VABase+tc.min {
+					t.Fatalf("access %d out of [VABase, VABase+%d): %#x", i, tc.min, a.VA)
+				}
+			}
+		})
 	}
 }
 

@@ -15,17 +15,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCH="${BENCH:-FeasibilityLP|Fig9aFeasibility}"
-GUARDBENCH="${GUARDBENCH:-WalkWarmStart|VerdictCacheHit}"
+GUARDBENCH="${GUARDBENCH:-WalkWarmStart|VerdictCacheHit|SweepGrid}"
 BENCHTIME="${BENCHTIME:-50x}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "${TMP}"' EXIT
 
 {
   go test -run=NONE -bench "${BENCH}" -benchmem -benchtime="${BENCHTIME}" -timeout 30m .
-  go test -run=NONE -bench "${GUARDBENCH}" -benchmem -timeout 30m . ./internal/engine
+  go test -run=NONE -bench "${GUARDBENCH}" -benchmem -timeout 30m . ./internal/engine ./internal/jobs
 } | tee "${TMP}/bench.txt"
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -f scripts/benchjson.awk "${TMP}/bench.txt" > "${TMP}/bench.json"
 
+# SweepGrid gates allocs/op only: its single timed iteration is the cold
+# full-grid sweep, whose allocation count balloons if the grid's
+# LP/verdict cache dedup regresses, while its wall time tracks math/big
+# throughput on the runner.
 scripts/benchcompare.py BENCH_results.json "${TMP}/bench.json" \
-  --guard '/exact$|WalkWarmStart/warm$|VerdictCacheHit' 1.2 \
+  --guard '/exact$|WalkWarmStart/warm$|VerdictCacheHit|SweepGrid' 1.2 \
   --guard-ns 'WalkWarmStart/warm$|VerdictCacheHit' 1.2
