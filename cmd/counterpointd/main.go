@@ -11,9 +11,13 @@
 // Alongside synchronous verdicts the daemon runs asynchronous jobs behind
 // the /v1/jobs endpoints — the paper's §5 / Appendix C guided
 // discovery/elimination search (POST /v1/explore) and hidden-event-space
-// sweeps over raw event×umask×cmask config grids (POST /v1/sweep) — with
-// bounded concurrent jobs, NDJSON progress streams, cancellation, and
-// resume-from-checkpoint. See docs/API.md for the endpoint reference.
+// sweeps over raw event×umask×cmask config grids (POST /v1/sweep;
+// "grid": "default" or "large" selects a preset) — with bounded
+// concurrent jobs, NDJSON progress streams, cancellation, and
+// resume-from-checkpoint. Sweeps plan the grid into behaviour classes
+// and evaluate one representative per class on the engine's worker
+// pool; committed events and checkpoints stay bit-identical to the
+// sequential scan. See docs/API.md for the endpoint reference.
 //
 // Usage:
 //
@@ -41,9 +45,10 @@
 // GET /stats reports the two-tier solver's telemetry (evaluations, float
 // filter hits, certification failures, exact fallbacks, warm-start dual
 // simplex counts and mean pivots, plus the int64 kernel's
-// fast-path/promotion counters and the certification arithmetic split)
-// and the engine's LP/verdict cache hit, miss and eviction counters,
-// accumulated across all requests since boot.
+// fast-path/promotion counters and the certification arithmetic split),
+// the engine's LP/verdict cache hit, miss and eviction counters, and the
+// sweep planner's telemetry (cells/classes planned, classes evaluated,
+// evaluations_avoided ratio), accumulated across all requests since boot.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener

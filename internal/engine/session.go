@@ -207,6 +207,87 @@ func (s *Session) Test(ctx context.Context, o *counters.Observation) (*core.Verd
 	return s.test(sc, o)
 }
 
+// EvaluateBatch evaluates corpus on the engine's worker pool and returns
+// only the aggregate feasible/infeasible counts — the lean batch-submit
+// path for corpus-shaped work that needs neither a verdict stream nor a
+// reassembled verdict slice (the sweep's behaviour-class fan-out).
+// Observations are chunked into Config.BatchSize pool tasks; the first
+// evaluation error cancels the rest and is returned, as is a cancelled
+// ctx. With Config.StopOnInfeasible the remaining chunks are cancelled
+// after the first infeasible verdict and the counts reflect the partial
+// scan. Must not be called from inside an engine pool task — it blocks
+// on pool capacity.
+func (s *Session) EvaluateBatch(ctx context.Context, corpus []*counters.Observation) (feasible, infeasible int, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	bctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		stopped  bool // early exit, not a failure
+	)
+	fail := func(e error) {
+		mu.Lock()
+		// Errors that arrive after cancellation are echoes of it, not the
+		// cause; keep only an error observed while the batch was live.
+		if firstErr == nil && !stopped && bctx.Err() == nil {
+			firstErr = e
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for start := 0; start < len(corpus); start += s.cfg.BatchSize {
+		end := start + s.cfg.BatchSize
+		if end > len(corpus) {
+			end = len(corpus)
+		}
+		b := corpus[start:end]
+		wg.Add(1)
+		err := s.eng.submit(bctx, func() {
+			defer wg.Done()
+			sc := s.eng.getScratch()
+			defer s.eng.putScratch(sc)
+			for _, o := range b {
+				if bctx.Err() != nil {
+					return
+				}
+				v, err := s.test(sc, o)
+				if err != nil {
+					fail(err)
+					return
+				}
+				mu.Lock()
+				if v.Feasible {
+					feasible++
+				} else {
+					infeasible++
+					if s.cfg.StopOnInfeasible && !stopped {
+						stopped = true
+						cancel()
+					}
+				}
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			wg.Done()
+			fail(err)
+			break
+		}
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return feasible, infeasible, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return feasible, infeasible, err
+	}
+	return feasible, infeasible, nil
+}
+
 // Item is one streamed verdict. Index is the observation's position in the
 // input stream (0-based), so out-of-order delivery can be reassembled.
 type Item struct {

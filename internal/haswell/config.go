@@ -160,14 +160,19 @@ func WithAggregateWalkRef(o *counters.Observation) *counters.Observation {
 			idx = append(idx, i)
 		}
 	}
-	for _, row := range o.Samples {
-		ext := make([]float64, set.Len())
+	// One flat backing array for the whole extended corpus instead of an
+	// allocation per sample row.
+	n := set.Len()
+	backing := make([]float64, len(o.Samples)*n)
+	out.Samples = make([][]float64, 0, len(o.Samples))
+	for s, row := range o.Samples {
+		ext := backing[s*n : (s+1)*n : (s+1)*n]
 		copy(ext, row)
 		sum := 0.0
 		for _, i := range idx {
 			sum += row[i]
 		}
-		ext[set.Len()-1] = sum
+		ext[n-1] = sum
 		out.Samples = append(out.Samples, ext)
 	}
 	return out

@@ -131,6 +131,10 @@ type Manager struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// sweep accumulates batched-sweep dedup telemetry across every sweep
+	// job of this manager (surfaced by SweepStats / GET /stats).
+	sweep sweepStats
+
 	mu       sync.Mutex
 	jobs     map[string]*Job
 	order    []*Job // submission order, live + retained

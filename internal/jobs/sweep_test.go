@@ -79,17 +79,29 @@ func TestSweepJobRunsToCompletionAndDedups(t *testing.T) {
 	if res.Consistent+res.Refuted != grid.Size() {
 		t.Fatalf("partition: %+v", res)
 	}
-	// Umask 0x1F aliases 0x0F on both events, so the grid must decode to
-	// strictly fewer behaviours than cells...
+	// Umask 0x1F aliases 0x0F on both events, so the grid must plan to
+	// strictly fewer behaviour classes than cells...
 	if res.UniqueBehaviours >= grid.Size() {
 		t.Fatalf("no dedup: %d behaviours for %d cells", res.UniqueBehaviours, grid.Size())
 	}
-	// ...and the aliased re-tests must land in the engine's caches:
-	// dedup observable, not assumed.
-	cs := eng.CacheStats()
-	if cs.LPHits == 0 || cs.VerdictHits == 0 {
-		t.Fatalf("aliased cells missed the caches: %+v", cs)
+	if res.ClassesPlanned != res.UniqueBehaviours || res.CellsAliased != grid.Size()-res.ClassesPlanned {
+		t.Fatalf("plan accounting: %+v", res)
 	}
+	// ...and the engine must be asked once per class, never per cell:
+	// dedup observable, not assumed. Evaluations counts LP solves, so
+	// verdict-cache hits can only pull it below classes × observations.
+	if res.ClassesEvaluated != res.ClassesPlanned {
+		t.Fatalf("fresh scan evaluated %d of %d classes", res.ClassesEvaluated, res.ClassesPlanned)
+	}
+	if ev := eng.SolverStats().Evaluations; ev > uint64(res.ClassesPlanned*res.BaseObservations) {
+		t.Fatalf("%d LP solves for %d classes x %d observations", ev, res.ClassesPlanned, res.BaseObservations)
+	}
+	ss := m.SweepStats()
+	if ss.Jobs != 1 || ss.CellsCommitted != uint64(grid.Size()) ||
+		ss.ClassesEvaluated != uint64(res.ClassesEvaluated) || ss.EvaluationsAvoided <= 0 {
+		t.Fatalf("manager telemetry: %+v", ss)
+	}
+	classRep := map[int]SweepCell{}
 	for i, c := range res.Cells {
 		if c.Index != i {
 			t.Fatalf("cell %d misindexed: %+v", i, c)
@@ -97,13 +109,32 @@ func TestSweepJobRunsToCompletionAndDedups(t *testing.T) {
 		if c.Feasible+c.Infeasible != 2 {
 			t.Fatalf("cell %d verdict count: %+v", i, c)
 		}
+		// Aliased cells carry their class and inherit its verdict verbatim.
+		rep, ok := classRep[c.Class]
+		if !ok {
+			classRep[c.Class] = c
+			continue
+		}
+		if rep.Sig != c.Sig || rep.Feasible != c.Feasible || rep.Infeasible != c.Infeasible {
+			t.Fatalf("class %d diverges: %+v vs %+v", c.Class, rep, c)
+		}
 	}
-	// The event log narrates the scan: one cell event per grid cell.
+	if len(classRep) != res.ClassesPlanned {
+		t.Fatalf("%d classes across cells, planned %d", len(classRep), res.ClassesPlanned)
+	}
+	// The event log narrates the scan: one plan announcement, one cell
+	// event per grid cell.
 	kinds := map[string]int{}
 	for ev := range j.Events(context.Background(), 0) {
 		kinds[ev.Kind]++
+		if ev.Kind == "planned" {
+			data := ev.Data.(SweepEventData)
+			if data.Count != grid.Size() || data.Classes != res.ClassesPlanned || data.Aliased != res.CellsAliased {
+				t.Fatalf("planned event: %+v", data)
+			}
+		}
 	}
-	if kinds["cell"] != grid.Size() || kinds["done"] != 1 {
+	if kinds["cell"] != grid.Size() || kinds["planned"] != 1 || kinds["done"] != 1 {
 		t.Fatalf("event kinds: %v", kinds)
 	}
 }
@@ -115,6 +146,7 @@ func TestSweepSpecValidation(t *testing.T) {
 		{},
 		{Grid: sweep.Grid{Events: []uint8{1}}},
 		{Grid: sweepTestGrid(), Confidence: 1.5},
+		{Grid: sweepTestGrid(), Workers: -1},
 	}
 	for i, spec := range bad {
 		if _, err := m.SubmitSweep(spec); err == nil {
@@ -258,16 +290,18 @@ func TestResumeDispatchesByKind(t *testing.T) {
 	}
 }
 
-// BenchmarkSweepGrid measures a full small-grid scan against a warm
-// shared engine: after the first iteration every cell's LP and verdict
-// are content-cache hits, so a dedup regression (cache rekeying, region
-// identity loss) shows up directly in ns/op and allocs/op.
-func BenchmarkSweepGrid(b *testing.B) {
+// benchmarkSweep runs full small-grid scans against a warm shared
+// engine: after the first iteration every class's LP content is a
+// verdict-cache hit, so a dedup regression (planner loss, cache
+// rekeying) shows up directly in ns/op and allocs/op — as does a
+// regression in the pooled per-class corpus materialisation.
+func benchmarkSweep(b *testing.B, workers int) {
 	eng := engine.New()
 	defer eng.Close()
 	m := NewManager(Options{})
 	defer m.Close()
 	spec := testSweepSpec(eng)
+	spec.Workers = workers
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -283,3 +317,11 @@ func BenchmarkSweepGrid(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepGrid is the sequential reference pipeline.
+func BenchmarkSweepGrid(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweepGridBatched is the batched fan-out (4 class evaluations
+// in flight; wall-clock parity with the serial scan is expected on the
+// 1-core recording box — the benchmark guards allocations, not speedup).
+func BenchmarkSweepGridBatched(b *testing.B) { benchmarkSweep(b, 4) }

@@ -357,9 +357,12 @@ type statsJSON struct {
 	FilterHits     uint64             `json:"filter_hits"`
 	MeanWarmPivots float64            `json:"mean_warm_pivots"`
 	Caches         engine.CacheCounts `json:"caches"`
-	Models         int                `json:"models"`
-	Workers        int                `json:"workers"`
-	Regions        int                `json:"cached_regions"`
+	// Sweep reports batched-sweep dedup: cells/classes planned, engine
+	// evaluations actually performed, and the evaluations-avoided ratio.
+	Sweep   jobs.SweepCounts `json:"sweep"`
+	Models  int              `json:"models"`
+	Workers int              `json:"workers"`
+	Regions int              `json:"cached_regions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -369,6 +372,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		FilterHits:     counts.FilterHits(),
 		MeanWarmPivots: counts.MeanWarmPivots(),
 		Caches:         s.eng.CacheStats(),
+		Sweep:          s.jobs.SweepStats(),
 		Models:         s.reg.Len(),
 		Workers:        s.eng.Workers(),
 		Regions:        s.eng.Regions().Len(),

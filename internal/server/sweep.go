@@ -2,9 +2,11 @@ package server
 
 // The hidden-event-space sweep API: POST /v1/sweep submits a jobs.SweepSpec
 // scan of a raw event×umask×cmask grid (see internal/sweep for the
-// decoding model). Sweeps run on the server's SHARED engine on purpose —
-// the grid's aliasing is the service's cache stress test, and GET /stats
-// must show the LP/verdict dedup it produces. The job machinery (events,
+// decoding model). Scans are behaviour-class batched: the planner
+// collapses aliased cells before any solving, one engine evaluation runs
+// per class, and GET /stats shows the evaluations-avoided ratio under
+// "sweep". Sweeps run on the server's SHARED engine so cross-scan verdict
+// dedup also lands in the service caches. The job machinery (events,
 // resume, delete) is shared with exploration via /v1/jobs.
 
 import (
@@ -26,9 +28,13 @@ const DefaultMaxSweepCells = 8192
 // sweepRequestJSON is the POST /v1/sweep body. Axis values are plain JSON
 // numbers in [0, 255]; omitting all three axes selects sweep.DefaultGrid.
 type sweepRequestJSON struct {
-	Events []int `json:"events,omitempty"`
-	Umasks []int `json:"umasks,omitempty"`
-	Cmasks []int `json:"cmasks,omitempty"`
+	// Grid selects a preset: "" or "default" for sweep.DefaultGrid (384
+	// cells), "large" for sweep.LargeGrid (4096 cells, the 100×-catalogue
+	// scan). Mutually exclusive with explicit axes.
+	Grid   string `json:"grid,omitempty"`
+	Events []int  `json:"events,omitempty"`
+	Umasks []int  `json:"umasks,omitempty"`
+	Cmasks []int  `json:"cmasks,omitempty"`
 	// Seed drives the decoder and the simulated base corpus; the whole
 	// sweep is a pure function of (grid, seed, samples, uops_per_sample).
 	Seed int64 `json:"seed,omitempty"`
@@ -36,6 +42,10 @@ type sweepRequestJSON struct {
 	// from sweep.DefaultBaseSpec).
 	Samples       int `json:"samples,omitempty"`
 	UopsPerSample int `json:"uops_per_sample,omitempty"`
+	// Workers bounds concurrent behaviour-class evaluations (0 = engine
+	// worker count, 1 = sequential reference pipeline). Results are
+	// bit-identical across settings.
+	Workers int `json:"workers,omitempty"`
 }
 
 type sweepSubmitJSON struct {
@@ -71,9 +81,26 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "samples and uops_per_sample must be non-negative")
 		return
 	}
+	if req.Workers < 0 {
+		writeError(w, http.StatusBadRequest, "workers must be non-negative")
+		return
+	}
 
-	grid := sweep.DefaultGrid()
+	var grid sweep.Grid
+	switch req.Grid {
+	case "", "default":
+		grid = sweep.DefaultGrid()
+	case "large":
+		grid = sweep.LargeGrid()
+	default:
+		writeError(w, http.StatusBadRequest, "unknown grid preset %q (want \"default\" or \"large\")", req.Grid)
+		return
+	}
 	if len(req.Events) != 0 || len(req.Umasks) != 0 || len(req.Cmasks) != 0 {
+		if req.Grid != "" {
+			writeError(w, http.StatusBadRequest, "grid preset and explicit axes are mutually exclusive")
+			return
+		}
 		if len(req.Events) == 0 || len(req.Umasks) == 0 || len(req.Cmasks) == 0 {
 			writeError(w, http.StatusBadRequest,
 				"a custom grid needs all three axes (events, umasks, cmasks); omit all three for the default grid")
@@ -107,9 +134,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		Confidence:    cfg.Confidence,
 		Mode:          cfg.Mode,
 		ForceExact:    cfg.ForceExact,
-		// The shared engine, not a per-job one: aliased grid cells must
-		// land in the service's content-addressed caches, where /stats
-		// makes the dedup observable.
+		Workers:       req.Workers,
+		// The shared engine, not a per-job one: class evaluations ride the
+		// service worker pool, and cross-scan verdict dedup lands in the
+		// content-addressed caches /stats exposes.
 		Engine: s.eng,
 	})
 	if err != nil {

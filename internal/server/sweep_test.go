@@ -18,6 +18,9 @@ type sweepResultJSON struct {
 	GridSize         int `json:"grid_size"`
 	BaseObservations int `json:"base_observations"`
 	UniqueBehaviours int `json:"unique_behaviours"`
+	ClassesPlanned   int `json:"classes_planned"`
+	ClassesEvaluated int `json:"classes_evaluated"`
+	CellsAliased     int `json:"cells_aliased"`
 	Consistent       int `json:"consistent"`
 	Refuted          int `json:"refuted"`
 	Verdicts         int `json:"verdicts"`
@@ -28,6 +31,7 @@ type sweepResultJSON struct {
 		Umask      uint8  `json:"umask"`
 		Cmask      uint8  `json:"cmask"`
 		Sig        string `json:"sig"`
+		Class      int    `json:"class"`
 		Feasible   int    `json:"feasible"`
 		Infeasible int    `json:"infeasible"`
 		Consistent bool   `json:"consistent"`
@@ -195,28 +199,42 @@ func TestSweepEndToEnd(t *testing.T) {
 		t.Fatalf("architectural cell %s missing from results", arch)
 	}
 
-	// Dedup observable, not assumed: the grid's aliased cells landed in
-	// the shared engine's content-addressed caches.
+	// The acceptance bar: one engine evaluation per behaviour class. The
+	// 384-cell default grid must complete in at most 130 class
+	// evaluations (~118 distinct behaviours), a ≥3× reduction.
+	if ref.ClassesPlanned != ref.UniqueBehaviours || ref.ClassesPlanned+ref.CellsAliased != wantGrid {
+		t.Fatalf("plan accounting: %+v", ref)
+	}
+	if ref.ClassesEvaluated > 130 {
+		t.Fatalf("%d engine evaluations for the %d-cell default grid, want <= 130", ref.ClassesEvaluated, wantGrid)
+	}
+	if ref.ClassesEvaluated*3 > wantGrid {
+		t.Fatalf("dedup below 3x: %d evaluations for %d cells", ref.ClassesEvaluated, wantGrid)
+	}
+
+	// Dedup observable, not assumed: GET /stats reports the planner's
+	// evaluations-avoided ratio, and the cross-run re-evaluations land in
+	// the shared engine's content-addressed verdict cache (the uncancelled
+	// reference run re-presents LP content the first two runs solved).
 	var stats struct {
 		Caches struct {
-			LPHits       uint64 `json:"lp_hits"`
-			VerdictHits  uint64 `json:"verdict_hits"`
-			LPMisses     uint64 `json:"lp_misses"`
-			VerdictMiss  uint64 `json:"verdict_misses"`
-			LPEntries    int    `json:"lp_entries"`
-			VerdictEntry int    `json:"verdict_entries"`
+			VerdictHits uint64 `json:"verdict_hits"`
 		} `json:"caches"`
+		Sweep jobs.SweepCounts `json:"sweep"`
 	}
 	gresp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	decodeBody(t, gresp, &stats)
-	if stats.Caches.LPHits == 0 || stats.Caches.VerdictHits == 0 {
-		t.Fatalf("no cache hits across grid cells: %+v", stats.Caches)
+	if stats.Sweep.Jobs != 3 || stats.Sweep.CellsPlanned == 0 || stats.Sweep.ClassesPlanned == 0 {
+		t.Fatalf("sweep telemetry: %+v", stats.Sweep)
 	}
-	if stats.Caches.LPHits < stats.Caches.LPMisses {
-		t.Fatalf("grid dedup should dominate misses: %+v", stats.Caches)
+	if stats.Sweep.EvaluationsAvoided <= 0.5 {
+		t.Fatalf("evaluations-avoided ratio %g, want > 0.5 across the aliased grid", stats.Sweep.EvaluationsAvoided)
+	}
+	if stats.Caches.VerdictHits == 0 {
+		t.Fatalf("no cross-run verdict-cache hits: %+v", stats)
 	}
 }
 
@@ -233,13 +251,120 @@ func TestSweepSubmitValidation(t *testing.T) {
 		{"axis range", map[string]any{"events": []int{1}, "umasks": []int{300}, "cmasks": []int{0}}, "", http.StatusBadRequest, "out of range"},
 		{"negative axis", map[string]any{"events": []int{-1}, "umasks": []int{1}, "cmasks": []int{0}}, "", http.StatusBadRequest, "out of range"},
 		{"negative samples", map[string]any{"samples": -1}, "", http.StatusBadRequest, "non-negative"},
+		{"negative workers", map[string]any{"workers": -1}, "", http.StatusBadRequest, "non-negative"},
 		{"bad confidence", map[string]any{}, "?confidence=2", http.StatusBadRequest, "confidence"},
+		{"unknown preset", map[string]any{"grid": "huge"}, "", http.StatusBadRequest, "grid preset"},
+		{"preset with axes", map[string]any{"grid": "large", "events": []int{1}, "umasks": []int{1}, "cmasks": []int{0}}, "", http.StatusBadRequest, "mutually exclusive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			resp := postJSON(t, ts.URL+"/v1/sweep"+tc.query, tc.body)
 			wantError(t, resp, tc.status, tc.substr)
 		})
+	}
+}
+
+// TestSweepLargeGridHTTPResume is the HTTP half of the 4096-cell
+// acceptance smoke: a 4096-cell custom grid — aliasing tuned so its
+// distinct LP content stays test-sized (umask low nibbles span {0x0,
+// 0x1, 0x3, 0xF}; every non-zero cmask's threshold out-gates the tiny
+// simulated corpus) — is cancelled mid-scan over the wire and resumed
+// through POST /v1/jobs/{id}/resume, finishing bit-identical to an
+// uninterrupted run.
+func TestSweepLargeGridHTTPResume(t *testing.T) {
+	ts, _ := newJobsServer(t, jobs.Options{})
+
+	events := []int{0x42, 0x43, 0x44, int(sweep.EventPageWalkerLoads)}
+	var umasks, cmasks []int
+	for hi := 0; hi < 16; hi++ {
+		for _, lo := range []int{0x0, 0x1, 0x3, 0xF} {
+			umasks = append(umasks, hi<<4|lo)
+		}
+		cmasks = append(cmasks, hi<<4|0x0F)
+	}
+	cmasks[0] = 0 // one ungated cmask; the other 15 threshold everything to zero
+	body := map[string]any{
+		"events": events, "umasks": umasks, "cmasks": cmasks,
+		"seed": 1, "samples": 2, "uops_per_sample": 300,
+	}
+	wantGrid := len(events) * len(umasks) * len(cmasks)
+	if wantGrid < 4096 {
+		t.Fatalf("smoke grid has %d cells, need >= 4096", wantGrid)
+	}
+
+	var sub struct {
+		jobs.Status
+		GridSize int `json:"grid_size"`
+	}
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	decodeBody(t, resp, &sub)
+	if sub.GridSize != wantGrid {
+		t.Fatalf("grid size %d, want %d", sub.GridSize, wantGrid)
+	}
+
+	// Cancel from the event stream once the scan is mid-grid.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := 0
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev jobs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Kind == "cell" {
+			cells++
+			if cells == 1000 {
+				dreq, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+sub.ID, nil)
+				dresp, err := http.DefaultClient.Do(dreq)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dresp.Body.Close()
+			}
+		}
+	}
+	sresp.Body.Close()
+	if st := awaitJob(t, ts.URL, sub.ID); st.State != jobs.StateCancelled {
+		t.Fatalf("after mid-grid DELETE: %s (%s)", st.State, st.Error)
+	}
+	if cells >= wantGrid {
+		t.Fatalf("cancellation landed after the grid finished (%d cells)", cells)
+	}
+
+	rresp, err := http.Post(ts.URL+"/v1/jobs/"+sub.ID+"/resume", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume status %d", rresp.StatusCode)
+	}
+	var rsub jobs.Status
+	decodeBody(t, rresp, &rsub)
+	rst := awaitJob(t, ts.URL, rsub.ID)
+	if rst.State != jobs.StateDone {
+		t.Fatalf("resumed job: %s (%s)", rst.State, rst.Error)
+	}
+	resumed := sweepResultOf(t, rst)
+
+	var refSub jobs.Status
+	decodeBody(t, postJSON(t, ts.URL+"/v1/sweep", body), &refSub)
+	refSt := awaitJob(t, ts.URL, refSub.ID)
+	if refSt.State != jobs.StateDone {
+		t.Fatalf("reference job: %s (%s)", refSt.State, refSt.Error)
+	}
+	ref := sweepResultOf(t, refSt)
+	if !reflect.DeepEqual(resumed.Cells, ref.Cells) {
+		t.Fatal("resumed 4096-cell scan is not bit-identical to the uninterrupted run")
+	}
+	if len(ref.Cells) != wantGrid || ref.ClassesPlanned >= wantGrid/4 {
+		t.Fatalf("plan accounting: grid %d, classes %d", len(ref.Cells), ref.ClassesPlanned)
 	}
 }
 
@@ -252,6 +377,12 @@ func TestSweepGridCap(t *testing.T) {
 	})
 	resp := postJSON(t, ts.URL+"/v1/sweep", map[string]any{})
 	wantError(t, resp, http.StatusBadRequest, "cap is 10")
+	// The large preset expands before the cap check like any grid.
+	resp = postJSON(t, ts.URL+"/v1/sweep", map[string]any{"grid": "large"})
+	wantError(t, resp, http.StatusBadRequest, "cap is 10")
+	if size := sweep.LargeGrid().Size(); size < 4096 || size > DefaultMaxSweepCells {
+		t.Fatalf("large preset is %d cells, want within [4096, %d]", size, DefaultMaxSweepCells)
+	}
 	// An in-cap custom grid is accepted.
 	ok := postJSON(t, ts.URL+"/v1/sweep", map[string]any{
 		"events": []int{0xBC}, "umasks": []int{0x0F}, "cmasks": []int{0},

@@ -36,12 +36,19 @@
 // return the *same* *Derived (same observation pointers), so the
 // engine's pointer-keyed region cache — and, through region content
 // hashes, the LP and verdict caches — dedup across grid cells.
+//
+// For grid-scale scans the Decoder also acts as a planner: Plan groups a
+// cell list into behaviour classes by signature before anything is
+// materialised or solved, so a batched scan evaluates one representative
+// corpus per class (DecodeClass, pooled buffers) and copies the verdict
+// onto every aliased cell without touching the engine.
 package sweep
 
 import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/counters"
 	"repro/internal/haswell"
@@ -120,6 +127,33 @@ func DefaultGrid() Grid {
 	}
 }
 
+// LargeGrid pushes the scan toward the hidden-PMU papers' 100× regime:
+// 64 event selectors × 16 umasks × 4 cmasks = 4096 cells, >100× the
+// haswell-mmu catalogue yet still under the service's default
+// -max-sweep-cells cap. The umask axis deliberately repeats low nibbles
+// across high bits (0x11 aliases 0x01, 0xF3 aliases 0x03, ...) the way
+// real PMU encodings do, so roughly half the grid collapses onto already-
+// planned behaviour classes.
+func LargeGrid() Grid {
+	return Grid{
+		Events: []uint8{
+			0x03, 0x05, 0x08, 0x0D, 0x0E, 0x10, 0x11, 0x14,
+			0x24, 0x27, 0x2E, 0x3C, 0x48, 0x49, 0x4C, 0x4F,
+			0x51, 0x58, 0x5C, 0x5E, 0x60, 0x63, 0x79, 0x80,
+			0x85, 0x87, 0x88, 0x89, 0x9C, 0xA1, 0xA2, 0xA3,
+			0xA8, 0xAB, 0xAE, 0xB0, 0xB1, 0xB7, EventPageWalkerLoads, 0xBD,
+			0xC0, 0xC1, 0xC2, 0xC3, 0xC4, 0xC5, 0xC8, 0xCA,
+			0xCC, 0xD0, 0xD1, 0xD2, 0xD3, 0xE6, 0xF0, 0xF1,
+			0xF2, 0xF4, 0x6C, 0x6D, 0x6E, 0x6F, 0x70, 0x71,
+		},
+		Umasks: []uint8{
+			0x00, 0x01, 0x02, 0x03, 0x05, 0x07, 0x0B, 0x0F,
+			0x11, 0x13, 0x1F, 0x33, 0x55, 0x7F, 0xAA, 0xFF,
+		},
+		Cmasks: []uint8{0x00, 0x01, 0x04, 0x10},
+	}
+}
+
 // BankSlots is the number of ground-truth counters an event selector's
 // bank exposes; umask bits at or above it are ignored (aliasing).
 const BankSlots = 4
@@ -141,9 +175,20 @@ type Derived struct {
 	Corpus []*counters.Observation
 }
 
+// Class is one behaviour class of a planned scan: the cells whose
+// configs decode to the same derived corpus. Cells holds ascending
+// cell-list indices; Cells[0] is the representative a batched scan
+// actually evaluates, the rest inherit its verdict.
+type Class struct {
+	Sig   string
+	Cells []int
+}
+
 // Decoder deterministically maps raw configs onto derived corpora over a
-// fixed base corpus. It memoises by behaviour, so aliased configs reuse
-// observation pointers. Not safe for concurrent use.
+// fixed base corpus. Decode memoises by behaviour, so aliased configs
+// reuse observation pointers; Decode/UniqueBehaviours are not safe for
+// concurrent use. Plan, Signature, DecodeClass and Release never touch
+// the memo and may be called from concurrent scan workers.
 type Decoder struct {
 	seed    int64
 	base    []*counters.Observation
@@ -154,6 +199,28 @@ type Decoder struct {
 	proj    []int // base-set column per target column (-1 for the aggregate)
 	aggPos  int   // aggregate column in target
 	memo    map[string]*Derived
+	pool    sync.Pool // *Derived shaped for base×target, recycled by DecodeClass/Release
+}
+
+// Plan groups cells into behaviour classes by signature, in first-
+// occurrence order, without materialising a single corpus — the planning
+// stage of a batched scan. Representatives (Cells[0]) are therefore in
+// ascending cell order across classes, which is what lets a batched
+// evaluator commit verdicts in exact grid order.
+func (d *Decoder) Plan(cells []RawConfig) []Class {
+	index := make(map[string]int, len(cells))
+	var classes []Class
+	for i, cfg := range cells {
+		sig := d.Signature(cfg)
+		k, ok := index[sig]
+		if !ok {
+			k = len(classes)
+			index[sig] = k
+			classes = append(classes, Class{Sig: sig})
+		}
+		classes[k].Cells = append(classes[k].Cells, i)
+	}
+	return classes
 }
 
 // NewDecoder builds a decoder over base (simulator ground-truth
@@ -298,21 +365,36 @@ func signature(cols []int, threshold float64) string {
 	return fmt.Sprintf("%s|t%g", strings.Join(parts, "+"), threshold)
 }
 
-// Decode returns the derived corpus for cfg, memoised by behaviour:
-// aliasing configs get the same *Derived back, observation pointers
-// included.
-func (d *Decoder) Decode(cfg RawConfig) *Derived {
-	cols, threshold := d.selection(cfg)
-	sig := signature(cols, threshold)
-	if dv, ok := d.memo[sig]; ok {
-		return dv
+// newDerived allocates a Derived shaped for the decoder's base corpus
+// and target set: one observation per base observation, each
+// observation's rows carved out of a single flat backing array. The
+// whole derivation costs len(base) backing allocations instead of one
+// per sample row.
+func (d *Decoder) newDerived() *Derived {
+	n := d.target.Len()
+	dv := &Derived{Corpus: make([]*counters.Observation, len(d.base))}
+	for i, o := range d.base {
+		out := counters.NewObservation("", d.target)
+		backing := make([]float64, len(o.Samples)*n)
+		out.Samples = make([][]float64, len(o.Samples))
+		for s := range o.Samples {
+			out.Samples[s] = backing[s*n : (s+1)*n : (s+1)*n]
+		}
+		dv.Corpus[i] = out
 	}
-	dv := &Derived{Sig: sig}
-	for _, o := range d.base {
-		out := counters.NewObservation(o.Label+"#"+sig, d.target)
-		out.Samples = make([][]float64, 0, len(o.Samples))
-		for _, row := range o.Samples {
-			r := make([]float64, d.target.Len())
+	return dv
+}
+
+// fill overwrites every column of dv with cfg's decoded behaviour. Every
+// target column is written unconditionally, which is what makes recycled
+// buffers safe: nothing from the previous occupant survives.
+func (d *Decoder) fill(dv *Derived, cols []int, threshold float64, sig string) {
+	dv.Sig = sig
+	for i, o := range d.base {
+		out := dv.Corpus[i]
+		out.Label = o.Label + "#" + sig
+		for s, row := range o.Samples {
+			r := out.Samples[s]
 			for j, bi := range d.proj {
 				if bi >= 0 {
 					r[j] = row[bi]
@@ -326,13 +408,47 @@ func (d *Decoder) Decode(cfg RawConfig) *Derived {
 				v = 0
 			}
 			r[d.aggPos] = v
-			out.Samples = append(out.Samples, r)
 		}
-		dv.Corpus = append(dv.Corpus, out)
 	}
+}
+
+// Decode returns the derived corpus for cfg, memoised by behaviour:
+// aliasing configs get the same *Derived back, observation pointers
+// included.
+func (d *Decoder) Decode(cfg RawConfig) *Derived {
+	cols, threshold := d.selection(cfg)
+	sig := signature(cols, threshold)
+	if dv, ok := d.memo[sig]; ok {
+		return dv
+	}
+	dv := d.newDerived()
+	d.fill(dv, cols, threshold, sig)
 	d.memo[sig] = dv
 	return dv
 }
+
+// DecodeClass materialises cfg's derived corpus from the decoder's
+// buffer pool, bypassing the memo: a planned scan decodes each behaviour
+// class exactly once (Plan already collapsed the aliases), so memoising
+// would only pin every class's corpus in memory for the whole scan.
+// Safe for concurrent use. Call Release once the class verdict is
+// committed so peak memory tracks in-flight classes, not grid size; the
+// observations must not be retained past that point.
+func (d *Decoder) DecodeClass(cfg RawConfig) *Derived {
+	cols, threshold := d.selection(cfg)
+	sig := signature(cols, threshold)
+	dv, _ := d.pool.Get().(*Derived)
+	if dv == nil {
+		dv = d.newDerived()
+	}
+	d.fill(dv, cols, threshold, sig)
+	return dv
+}
+
+// Release recycles a DecodeClass derivation's buffers for the next
+// class. Never release a memoised Decode result — those are shared by
+// pointer across aliased configs.
+func (d *Decoder) Release(dv *Derived) { d.pool.Put(dv) }
 
 // UniqueBehaviours counts the distinct behaviours decoded so far — the
 // dedup denominator a full-grid scan reports next to its cell count.

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -203,6 +204,152 @@ func TestDecoderRejectsBadInputs(t *testing.T) {
 	mixed = append(mixed, counters.NewObservation("odd", counters.NewSet("a", "b")))
 	if _, err := NewDecoder(1, mixed, haswell.AnalysisSet()); err == nil {
 		t.Fatal("mixed base sets should be rejected")
+	}
+}
+
+func TestPlanGroupsCellsBySignature(t *testing.T) {
+	d, err := NewDecoder(7, makeBase(t), haswell.AnalysisSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := DefaultGrid().Cells()
+	plan := d.Plan(cells)
+	if len(plan) == 0 || len(plan) >= len(cells) {
+		t.Fatalf("%d classes for %d cells", len(plan), len(cells))
+	}
+	// The plan partitions the cell list: every index exactly once, class
+	// members ascending, representatives in first-occurrence order.
+	seen := make([]bool, len(cells))
+	lastRep := -1
+	for k, cl := range plan {
+		if len(cl.Cells) == 0 {
+			t.Fatalf("class %d is empty", k)
+		}
+		if cl.Cells[0] <= lastRep {
+			t.Fatalf("class %d representative %d out of order (prev %d)", k, cl.Cells[0], lastRep)
+		}
+		lastRep = cl.Cells[0]
+		prev := -1
+		for _, i := range cl.Cells {
+			if i <= prev {
+				t.Fatalf("class %d cells not ascending: %v", k, cl.Cells)
+			}
+			prev = i
+			if seen[i] {
+				t.Fatalf("cell %d in two classes", i)
+			}
+			seen[i] = true
+			// Membership is exactly signature equality.
+			if got := d.Signature(cells[i]); got != cl.Sig {
+				t.Fatalf("cell %d signature %q in class %q", i, got, cl.Sig)
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("cell %d missing from the plan", i)
+		}
+	}
+	// Planning is pure: no corpus was materialised.
+	if d.UniqueBehaviours() != 0 {
+		t.Fatalf("plan materialised %d derivations", d.UniqueBehaviours())
+	}
+}
+
+// TestDecodeClassMatchesDecode pins the pooled path: DecodeClass must
+// produce content bit-identical to the memoised Decode for every cell,
+// including when its buffers are recycled across classes in arbitrary
+// order.
+func TestDecodeClassMatchesDecode(t *testing.T) {
+	base := makeBase(t)
+	target := haswell.AnalysisSet()
+	ref, err := NewDecoder(7, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(7, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range DefaultGrid().Cells() {
+		want := ref.Decode(cfg)
+		dv := d.DecodeClass(cfg)
+		if dv.Sig != want.Sig {
+			t.Fatalf("%s: signature %q, want %q", cfg, dv.Sig, want.Sig)
+		}
+		for i := range dv.Corpus {
+			if dv.Corpus[i].Label != want.Corpus[i].Label {
+				t.Fatalf("%s obs %d: label %q, want %q", cfg, i, dv.Corpus[i].Label, want.Corpus[i].Label)
+			}
+			if !reflect.DeepEqual(dv.Corpus[i].Samples, want.Corpus[i].Samples) {
+				t.Fatalf("%s obs %d: pooled derivation diverges from memoised", cfg, i)
+			}
+		}
+		// Releasing hands the same buffers to the next decode; the fill
+		// must leave no residue (every column overwritten).
+		d.Release(dv)
+	}
+}
+
+func TestDecodeClassIsConcurrencySafe(t *testing.T) {
+	base := makeBase(t)
+	target := haswell.AnalysisSet()
+	d, err := NewDecoder(3, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewDecoder(3, base, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := DefaultGrid().Cells()
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			for i := w; i < len(cells); i += 8 {
+				dv := d.DecodeClass(cells[i])
+				sig := dv.Sig
+				d.Release(dv)
+				if want := ref.Signature(cells[i]); sig != want {
+					errs <- fmt.Errorf("cell %d: %q want %q", i, sig, want)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < 8; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestLargeGridReachesHundredFold(t *testing.T) {
+	g := LargeGrid()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cat := len(haswell.Catalog())
+	if g.Size() < 100*cat {
+		t.Fatalf("large grid has %d cells, want >= 100x the %d-model catalogue", g.Size(), cat)
+	}
+	found := false
+	for _, e := range g.Events {
+		if e == EventPageWalkerLoads {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("large grid omits event %#x", EventPageWalkerLoads)
+	}
+	// The aliased umask axis must collapse a meaningful share of the grid.
+	d, err := NewDecoder(1, makeBase(t), haswell.AnalysisSet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan := d.Plan(g.Cells()); len(plan)*3 > 2*g.Size() {
+		t.Fatalf("large grid barely aliases: %d classes for %d cells", len(plan), g.Size())
 	}
 }
 

@@ -26,10 +26,11 @@ trap 'rm -rf "${TMP}"' EXIT
 } | tee "${TMP}/bench.txt"
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -f scripts/benchjson.awk "${TMP}/bench.txt" > "${TMP}/bench.json"
 
-# SweepGrid gates allocs/op only: its single timed iteration is the cold
-# full-grid sweep, whose allocation count balloons if the grid's
-# LP/verdict cache dedup regresses, while its wall time tracks math/big
-# throughput on the runner.
+# SweepGrid and SweepGridBatched gate allocs/op only: their allocation
+# counts balloon if the behaviour-class planner, the pooled per-class
+# corpus materialisation, or the verdict-cache dedup regresses, while
+# their wall time tracks math/big throughput on the runner. (The
+# unanchored SweepGrid pattern matches both deliberately.)
 scripts/benchcompare.py BENCH_results.json "${TMP}/bench.json" \
   --guard '/exact$|WalkWarmStart/warm$|VerdictCacheHit|SweepGrid' 1.2 \
   --guard-ns 'WalkWarmStart/warm$|VerdictCacheHit' 1.2
