@@ -19,6 +19,14 @@
 // pool; committed events and checkpoints stay bit-identical to the
 // sequential scan. See docs/API.md for the endpoint reference.
 //
+// The /v1/streams endpoints serve online refutation: a stream binds one
+// model to one configuration, ingests NDJSON observations through a
+// bounded queue with an explicit backpressure policy (block, drop or
+// reject with 429), and emits verdict/state events whose monotone
+// refutation state is bit-identical to a batch evaluation of the same
+// observations. -max-streams caps open streams, -stream-buffer sets the
+// queue high-water mark, -stream-ttl reaps idle streams.
+//
 // Usage:
 //
 //	counterpointd [flags]
@@ -36,6 +44,10 @@
 //	-job-history n     ring of finished jobs kept queryable (default 64)
 //	-job-ttl d         how long finished jobs stay queryable (default 1h)
 //	-max-sweep-cells n cap on a sweep request's expanded grid size (default 8192)
+//	-max-streams n     cap on concurrently open ingest streams (default 64)
+//	-stream-buffer n   per-stream ingest queue capacity / backpressure
+//	                   high-water mark (default 1024)
+//	-stream-ttl d      idle stream reap TTL (default 5m)
 //	-no-catalog        start with an empty model registry
 //	-verdict-db path   persistent content-addressed verdict store; cached
 //	                   feasibility verdicts survive restarts (off by default)
@@ -46,9 +58,11 @@
 // filter hits, certification failures, exact fallbacks, warm-start dual
 // simplex counts and mean pivots, plus the int64 kernel's
 // fast-path/promotion counters and the certification arithmetic split),
-// the engine's LP/verdict cache hit, miss and eviction counters, and the
+// the engine's LP/verdict cache hit, miss and eviction counters, the
 // sweep planner's telemetry (cells/classes planned, classes evaluated,
-// evaluations_avoided ratio), accumulated across all requests since boot.
+// evaluations_avoided ratio), and the stream tier's telemetry (lifecycle
+// counts, ingest/verdict/drop totals, queue high-water mark,
+// ingest→verdict latency), accumulated across all requests since boot.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener
@@ -112,6 +126,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		jobHistory    = fs.Int("job-history", jobs.DefaultMaxRetained, "how many finished exploration jobs stay queryable")
 		jobTTL        = fs.Duration("job-ttl", jobs.DefaultRetainFor, "how long finished exploration jobs stay queryable")
 		maxSweepCells = fs.Int("max-sweep-cells", server.DefaultMaxSweepCells, "cap on a sweep request's expanded grid size")
+		maxStreams    = fs.Int("max-streams", server.DefaultMaxStreams, "cap on concurrently open ingest streams")
+		streamBuffer  = fs.Int("stream-buffer", server.DefaultStreamBuffer, "per-stream ingest queue capacity (backpressure high-water mark)")
+		streamTTL     = fs.Duration("stream-ttl", server.DefaultStreamIdleTTL, "idle stream reap TTL")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
 		verdictDB     = fs.String("verdict-db", "", "path to the persistent verdict store; cached feasibility verdicts survive restarts (empty disables)")
 		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); bind loopback only, e.g. 127.0.0.1:6060")
@@ -124,6 +141,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *maxSweepCells < 1 {
 		return fmt.Errorf("max-sweep-cells must be positive, got %d", *maxSweepCells)
+	}
+	if *maxStreams < 1 {
+		return fmt.Errorf("max-streams must be positive, got %d", *maxStreams)
+	}
+	if *streamBuffer < 1 {
+		return fmt.Errorf("stream-buffer must be positive, got %d", *streamBuffer)
 	}
 
 	engOpts := []engine.Option{engine.WithWorkers(*workers)}
@@ -161,7 +184,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Catalog:       catalog,
 		Jobs:          jm,
 		MaxSweepCells: *maxSweepCells,
+		MaxStreams:    *maxStreams,
+		StreamBuffer:  *streamBuffer,
+		StreamIdleTTL: *streamTTL,
 	})
+	// Streams close before the jobs manager and engine (deferred LIFO):
+	// queued observations drain, terminal events land, workers exit.
+	defer srv.Close()
 
 	// Profiling endpoint: off by default, on its own mux and listener so
 	// pprof handlers are never reachable through the service address.

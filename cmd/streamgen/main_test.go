@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+// TestStreamgenEndToEnd drives the generator against an in-process
+// server: every observation must be accepted under the block policy, the
+// injected infeasible fraction must refute the model, and the report
+// must carry the server's own telemetry.
+func TestStreamgenEndToEnd(t *testing.T) {
+	eng := engine.New(engine.WithWorkers(2))
+	defer eng.Close()
+	srv := server.New(server.Options{Engine: eng, StreamBuffer: 64})
+	defer srv.Close()
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", hs.URL, "-n", "60", "-batch", "16", "-infeasible", "0.2", "-seed", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("streamgen: %v (output %q)", err, out.String())
+	}
+	got := out.String()
+	for _, want := range []string{
+		"queued 60, dropped 0, rejected 0, errors 0",
+		"verdicts 60",
+		"refuted true",
+		"ingest latency p50",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestStreamgenFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"-batch", "0"},
+		{"-samples", "0"},
+		{"-infeasible", "1.5"},
+		{"-bogus"},
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("args %v must be rejected", args)
+		}
+	}
+}

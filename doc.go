@@ -26,7 +26,9 @@
 //     Solver;
 //   - internal/engine — the batched feasibility engine: long-lived
 //     Engine/Session pipeline with a bounded worker pool, region/LP
-//     caching, and streaming corpus evaluation;
+//     caching, streaming corpus evaluation, and incremental
+//     (per-observation) sessions whose folded verdict state is
+//     bit-identical to a batch evaluation of the same observations;
 //   - internal/explore — guided model exploration (§5, Appendix C):
 //     frontier-parallel yet bit-identical to the sequential search,
 //     progress events, checkpoint/restore, and the #if/#endif DSL
@@ -37,8 +39,10 @@
 //   - internal/sweep — the hidden-event-space sweep workload: raw
 //     event×umask×cmask grids decoded into synthetic derived counters
 //     over a simulated base corpus;
-//   - internal/server — the HTTP/JSON feasibility service over the engine
-//     and the jobs API over the manager;
+//   - internal/server — the HTTP/JSON feasibility service over the
+//     engine, the jobs API over the manager, and live ingest streams
+//     (bounded queues, explicit backpressure, replayable verdict
+//     events) over incremental sessions;
 //   - internal/haswell, internal/pagetable, internal/memsim,
 //     internal/workloads — the simulated Haswell MMU substrate that stands
 //     in for the paper's silicon;
@@ -46,8 +50,9 @@
 //     extension component, counter errata modelling, and the Figure 1a
 //     HEC census;
 //   - internal/experiments — regenerates every table and figure;
-//   - cmd/counterpoint, cmd/counterpointd, cmd/hswsim, cmd/experiments —
-//     the executables;
+//   - cmd/counterpoint, cmd/counterpointd, cmd/hswsim, cmd/streamgen,
+//     cmd/experiments — the executables (streamgen is the stream-tier
+//     load generator);
 //   - examples/ — runnable walkthroughs of the public API (see
 //     examples/engine for the batched/streaming evaluation API,
 //     examples/service for the HTTP API, and examples/explore-service
@@ -78,8 +83,21 @@
 //	curl -sN -X POST 'localhost:8417/v1/models/pde/evaluate/stream?first=true' \
 //	  -F corpus=@samples.csv -F corpus=@more.csv
 //
-//	# two-tier solver telemetry: evaluations, float-filter hits,
-//	# certification failures, exact fallbacks
+//	# sweep the hidden event space: a raw event×umask×cmask grid over a
+//	# simulated base corpus, as an asynchronous job
+//	curl -s -X POST localhost:8417/v1/sweep -d '{"seed":1}'
+//
+//	# live ingest: open a stream on a model, feed NDJSON observations as
+//	# they arrive, watch verdict events, close
+//	curl -s -X POST localhost:8417/v1/streams -d '{"model":"pde"}'
+//	curl -s -X POST localhost:8417/v1/streams/s000001/ingest --data-binary @batch.ndjson
+//	curl -sN localhost:8417/v1/streams/s000001/events
+//	curl -s -X DELETE localhost:8417/v1/streams/s000001
+//
+//	# telemetry: two-tier solver counters (float-filter hits,
+//	# certification failures, exact fallbacks), arithmetic-kernel and
+//	# warm-start counters, engine caches, sweep planning, stream
+//	# queues/latency
 //	curl -s localhost:8417/stats
 //
 // Guided exploration runs as asynchronous jobs: submit a

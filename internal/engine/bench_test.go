@@ -162,6 +162,89 @@ func BenchmarkSweepSession(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamIngest measures the per-observation cost of the online
+// refutation path: one long-lived IncrementalSession — the object behind
+// POST /v1/streams/{id}/ingest — folding observations one at a time under
+// the service configuration (ephemeral observations, violations on).
+//
+//   - fresh — every ingested observation is new content, the steady state
+//     of a live counter feed: an uncached confidence region, a fresh
+//     feasibility LP and a warm-started dual-simplex solve per ingest,
+//     with only the canonical-hash probe of the verdict cache shared;
+//   - warm — the same observation re-ingested, isolating the fixed
+//     per-ingest overhead (state fold, scratch reuse, verdict-cache hit)
+//     with no solve of any tier in the timed loop.
+func BenchmarkStreamIngest(b *testing.B) {
+	const chunk = 512
+	freshChunk := func(lap int) []*counters.Observation {
+		// Slow drift, like a real feed: each lap is new content, near
+		// enough to its neighbours that the warm-start path engages.
+		return driftCorpus(pdeSet(), chunk, 60,
+			[]float64{500, 200}, []float64{0.25, 0.125}, int64(1000+lap))
+	}
+	newIngestSession := func(b *testing.B) (*Engine, *IncrementalSession) {
+		e := New(WithWorkers(1))
+		s, err := e.NewSession(pdeModel(b), Config{IdentifyViolations: true, EphemeralObservations: true})
+		if err != nil {
+			e.Close()
+			b.Fatal(err)
+		}
+		return e, s.Incremental()
+	}
+
+	b.Run("fresh", func(b *testing.B) {
+		e, inc := newIngestSession(b)
+		defer e.Close()
+		defer inc.Close()
+		// Warm once with content outside the drift corpus, so every timed
+		// ingest really is first-sight content.
+		if _, err := inc.Ingest(context.Background(), obsAround("warm", 500, 100, 60, 7)); err != nil {
+			b.Fatal(err)
+		}
+		corpus := freshChunk(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if j := i % chunk; j == 0 && i > 0 {
+				b.StopTimer()
+				corpus = freshChunk(i / chunk)
+				b.StartTimer()
+			}
+			if _, err := inc.Ingest(context.Background(), corpus[i%chunk]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if st := inc.State(); st.Total != b.N+1 {
+			b.Fatalf("state total %d after %d ingests", st.Total, b.N+1)
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		e, inc := newIngestSession(b)
+		defer e.Close()
+		defer inc.Close()
+		o := obsAround("steady", 500, 100, 60, 42)
+		if _, err := inc.Ingest(context.Background(), o); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := inc.Ingest(context.Background(), o); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if cc := e.CacheStats(); cc.VerdictHits == 0 {
+			b.Fatal("no verdict-cache hits recorded")
+		}
+		if st := inc.State(); st.Total != b.N+1 || st.Infeasible != 0 {
+			b.Fatalf("state %+v after %d ingests", st, b.N+1)
+		}
+	})
+}
+
 // BenchmarkVerdictCacheHit measures the content-addressed verdict cache's
 // steady state: the same observation tested over and over against the
 // same model, so after the first call every Test is a verdict-cache hit —

@@ -24,6 +24,12 @@
 //	GET  /v1/jobs/{id}/events            NDJSON progress stream (replay + live)
 //	POST /v1/jobs/{id}/resume            resume a terminal job from its checkpoint
 //	DELETE /v1/jobs/{id}                 cancel a running job / drop a finished one
+//	POST /v1/streams                     open an online-refutation stream
+//	GET  /v1/streams                     list streams
+//	GET  /v1/streams/{id}                stream state, depth, latency telemetry
+//	POST /v1/streams/{id}/ingest         NDJSON observations in (bounded queue)
+//	GET  /v1/streams/{id}/events         NDJSON verdict/state events out
+//	DELETE /v1/streams/{id}              close a live stream / drop a closed one
 //	GET  /healthz                        liveness and cache statistics
 //	GET  /stats                          engine solver telemetry (two-tier counters)
 //
@@ -38,8 +44,12 @@
 // job it was watching. POST /v1/sweep scans a raw event×umask×cmask config
 // grid for encodings consistent with the page-walker reference count
 // (sweep.go and internal/sweep); sweeps share the engine, so their grid-
-// cell dedup shows up in /stats. See docs/API.md for the full endpoint
-// reference.
+// cell dedup shows up in /stats. The /v1/streams endpoints are the online
+// counterpart of batch evaluation: each stream wraps an
+// engine.IncrementalSession behind a bounded queue with an explicit
+// backpressure policy, and its monotone verdict state is bit-identical
+// to a batch evaluation of the same observations (streams.go). See
+// docs/API.md for the full endpoint reference.
 package server
 
 import (
@@ -52,6 +62,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counters"
@@ -93,6 +104,22 @@ type Options struct {
 	// MaxSweepCells caps the expanded grid size a POST /v1/sweep request
 	// may submit; 0 means DefaultMaxSweepCells.
 	MaxSweepCells int
+	// MaxStreams caps concurrently open online-refutation streams; 0
+	// means DefaultMaxStreams. Creation beyond the cap is a 429.
+	MaxStreams int
+	// StreamBuffer is the per-stream ingest queue capacity — the
+	// high-water mark at which the backpressure policy engages; 0 means
+	// DefaultStreamBuffer. Streams may request smaller buffers, never
+	// larger.
+	StreamBuffer int
+	// StreamIdleTTL reaps streams with no ingest activity: live idle
+	// streams are closed (reason "idle"), closed ones removed. 0 means
+	// DefaultStreamIdleTTL.
+	StreamIdleTTL time.Duration
+
+	// streamNow, when set (by tests), replaces time.Now for stream
+	// idle-TTL accounting so reaps are deterministic.
+	streamNow func() time.Time
 }
 
 // Server is the HTTP feasibility service. Create with New; it implements
@@ -105,6 +132,7 @@ type Server struct {
 	bodyLimit int64
 	mux       *http.ServeMux
 	jobs      *jobs.Manager
+	streams   *streamManager
 
 	maxSweepCells int
 }
@@ -136,6 +164,7 @@ func New(opts Options) *Server {
 	if opts.MaxConcurrent > 0 {
 		s.sem = make(chan struct{}, opts.MaxConcurrent)
 	}
+	s.streams = newStreamManager(s.eng, opts.MaxStreams, opts.StreamBuffer, opts.StreamIdleTTL, opts.streamNow)
 	for _, m := range opts.Catalog {
 		s.reg.Seed(m.Name, m.Source)
 	}
@@ -152,6 +181,12 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("POST /v1/jobs/{id}/resume", s.handleJobResume)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	s.mux.HandleFunc("POST /v1/streams", s.handleStreamCreate)
+	s.mux.HandleFunc("GET /v1/streams", s.handleStreamList)
+	s.mux.HandleFunc("GET /v1/streams/{id}", s.handleStreamDescribe)
+	s.mux.HandleFunc("POST /v1/streams/{id}/ingest", s.handleStreamIngest)
+	s.mux.HandleFunc("GET /v1/streams/{id}/events", s.handleStreamEvents)
+	s.mux.HandleFunc("DELETE /v1/streams/{id}", s.handleStreamDelete)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -162,6 +197,15 @@ func (s *Server) Registry() *Registry { return s.reg }
 
 // Jobs exposes the server's exploration job manager.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Close shuts down the server's stream tier: every open stream is closed
+// (reason "shutdown"), queued observations are drained, and Close blocks
+// until the last stream worker exits. The jobs manager and engine are
+// not owned by the Server and are closed by the caller (counterpointd
+// does, after Close). Idempotent.
+func (s *Server) Close() {
+	s.streams.close()
+}
 
 // ServeHTTP dispatches to the service mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -332,6 +376,7 @@ type healthJSON struct {
 	Workers int    `json:"workers"`
 	Regions int    `json:"cached_regions"`
 	Jobs    int    `json:"jobs"`
+	Streams int    `json:"streams"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -341,6 +386,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Workers: s.eng.Workers(),
 		Regions: s.eng.Regions().Len(),
 		Jobs:    s.jobs.Len(),
+		Streams: s.streams.stats().Active,
 	})
 }
 
@@ -359,10 +405,14 @@ type statsJSON struct {
 	Caches         engine.CacheCounts `json:"caches"`
 	// Sweep reports batched-sweep dedup: cells/classes planned, engine
 	// evaluations actually performed, and the evaluations-avoided ratio.
-	Sweep   jobs.SweepCounts `json:"sweep"`
-	Models  int              `json:"models"`
-	Workers int              `json:"workers"`
-	Regions int              `json:"cached_regions"`
+	Sweep jobs.SweepCounts `json:"sweep"`
+	// Streams reports the online-refutation tier: stream lifecycle
+	// counts, ingest/verdict/drop totals, the deepest queue observed and
+	// aggregate ingest→verdict latency.
+	Streams StreamCounts `json:"streams"`
+	Models  int          `json:"models"`
+	Workers int          `json:"workers"`
+	Regions int          `json:"cached_regions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -373,6 +423,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MeanWarmPivots: counts.MeanWarmPivots(),
 		Caches:         s.eng.CacheStats(),
 		Sweep:          s.jobs.SweepStats(),
+		Streams:        s.streams.stats(),
 		Models:         s.reg.Len(),
 		Workers:        s.eng.Workers(),
 		Regions:        s.eng.Regions().Len(),

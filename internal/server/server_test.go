@@ -58,7 +58,9 @@ func newTestServer(t *testing.T, opts ...func(*Options)) *httptest.Server {
 	for _, f := range opts {
 		f(&o)
 	}
-	ts := httptest.NewServer(New(o))
+	srv := New(o)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Checks that every relative markdown link in the repo's documentation
-# points at a file (or directory) that exists, so README/DESIGN/docs can't
-# silently rot as the tree moves under them. External links (scheme://)
-# and pure anchors (#...) are left alone — no network access here.
+# points at a file (or directory) that exists, and that links into a
+# markdown file with an #anchor name a real heading there (GitHub-style
+# slugs), so README/DESIGN/docs can't silently rot as the tree and the
+# section headings move under them. External links (scheme://) and pure
+# intra-document anchors (#...) are left alone — no network access here.
 #
 # Usage: scripts/checklinks.sh [file.md ...]   (default: the doc set)
 set -euo pipefail
@@ -12,6 +14,17 @@ files=("$@")
 if [ ${#files[@]} -eq 0 ]; then
   files=(README.md DESIGN.md ROADMAP.md docs/*.md)
 fi
+
+# GitHub's heading slug: lowercase, punctuation stripped (backticks,
+# parentheses, ...), spaces to hyphens. Headings inside fenced code
+# blocks are not headings — shell comments in ```sh blocks would
+# otherwise pollute the slug set and mask rot.
+slugs() {
+  awk '/^```/ { fence = !fence; next }
+       !fence && /^#+ / { sub(/^#+ +/, ""); print }' "$1" \
+    | tr '[:upper:]' '[:lower:]' \
+    | sed -E 's/[^a-z0-9 _-]//g; s/ +/-/g'
+}
 
 fail=0
 for f in "${files[@]}"; do
@@ -25,10 +38,22 @@ for f in "${files[@]}"; do
       *://*|mailto:*) continue ;;          # external
     esac
     path="${target%%#*}"                   # strip anchor
-    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+    resolved="$dir/$path"
+    [ -e "$resolved" ] || resolved="$path"
+    if [ ! -e "$resolved" ]; then
       echo "checklinks: $f links to missing $target"
       fail=1
+      continue
     fi
+    case "$target" in
+      *.md\#*)
+        anchor="${target#*#}"
+        if ! slugs "$resolved" | grep -qxF "$anchor"; then
+          echo "checklinks: $f links to missing anchor #$anchor in $path"
+          fail=1
+        fi
+        ;;
+    esac
   done < <(grep -oE '\]\([^)]+\)' "$f" | sed -E 's/^\]\(//; s/\)$//')
 done
 
