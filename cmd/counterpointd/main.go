@@ -51,6 +51,10 @@
 //	-no-catalog        start with an empty model registry
 //	-verdict-db path   persistent content-addressed verdict store; cached
 //	                   feasibility verdicts survive restarts (off by default)
+//	-job-db path       durable job journal (append-only, checksummed); jobs
+//	                   survive restarts, and a restarting daemon re-lists
+//	                   finished jobs and auto-resumes interrupted ones from
+//	                   their last checkpoint (off by default)
 //	-pprof-addr a      serve net/http/pprof on a (off by default; bind
 //	                   loopback only — profiles expose internals)
 //
@@ -66,9 +70,16 @@
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests (and
 // their verdict streams) get shutdownGrace to finish before the listener
-// is torn down; then running exploration jobs are cancelled (their
-// checkpoints are lost with the process — exploration state is in-memory)
-// and the engine closed.
+// is torn down; then running exploration jobs are cancelled and the
+// engine closed. Without -job-db their checkpoints are lost with the
+// process; with it, every submission, progress event, checkpoint and
+// result is journaled with CRCs and fsync-on-commit, so the next boot
+// repairs any torn tail, re-lists terminal jobs byte-identically and
+// resumes interrupted explore/sweep jobs bit-identically from their last
+// durable checkpoint. If the journal's disk fails at runtime the daemon
+// degrades rather than dies: it keeps serving from memory, reports the
+// failure on /healthz and /stats, and sheds new durable submissions with
+// 503 + Retry-After until a probe write succeeds.
 package main
 
 import (
@@ -90,6 +101,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/haswell"
 	"repro/internal/jobs"
+	"repro/internal/jobstore"
 	"repro/internal/perfdb"
 	"repro/internal/server"
 	"repro/internal/stats"
@@ -131,6 +143,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		streamTTL     = fs.Duration("stream-ttl", server.DefaultStreamIdleTTL, "idle stream reap TTL")
 		noCatalog     = fs.Bool("no-catalog", false, "start with an empty model registry")
 		verdictDB     = fs.String("verdict-db", "", "path to the persistent verdict store; cached feasibility verdicts survive restarts (empty disables)")
+		jobDB         = fs.String("job-db", "", "path to the durable job journal; jobs survive restarts and interrupted ones auto-resume (empty disables)")
 		pprofAddr     = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables); bind loopback only, e.g. 127.0.0.1:6060")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -171,18 +184,46 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			catalog = append(catalog, server.Model{Name: cm.Name, Source: cm.Source})
 		}
 	}
-	jm := jobs.NewManager(jobs.Options{
+	var jst *jobstore.Store
+	jopts := jobs.Options{
 		MaxConcurrent: *maxJobs,
 		MaxRetained:   *jobHistory,
 		RetainFor:     *jobTTL,
-	})
+	}
+	if *jobDB != "" {
+		var err error
+		if jst, err = jobstore.Open(*jobDB, jobstore.Options{}); err != nil {
+			return fmt.Errorf("job journal: %w", err)
+		}
+		// Closes after the manager (deferred LIFO), so shutdown's terminal
+		// records and final checkpoints land in the journal.
+		defer jst.Close()
+		jopts.Journal = jst
+	}
+	jm := jobs.NewManager(jopts)
 	defer jm.Close()
+	if jst != nil {
+		rep, err := jobstore.Recover(jm, jst, map[string]jobstore.Rebuilder{
+			"sweep":   jobs.RebuildSweep(eng),
+			"explore": jobs.RebuildExplore(),
+		})
+		if err != nil {
+			return fmt.Errorf("job journal recovery: %w", err)
+		}
+		fmt.Fprintf(out, "counterpointd: job journal %s (%d jobs re-listed, %d interrupted, %d resumed",
+			*jobDB, rep.Relisted+rep.Interrupted, rep.Interrupted, rep.Resumed)
+		if rep.Repaired {
+			fmt.Fprint(out, ", torn tail repaired")
+		}
+		fmt.Fprintln(out, ")")
+	}
 	srv := server.New(server.Options{
 		Engine:        eng,
 		Defaults:      engine.Config{Confidence: *confidence, Mode: mode, IdentifyViolations: *identify, ForceExact: *exact},
 		MaxConcurrent: *maxConcurrent,
 		Catalog:       catalog,
 		Jobs:          jm,
+		JobStore:      jst,
 		MaxSweepCells: *maxSweepCells,
 		MaxStreams:    *maxStreams,
 		StreamBuffer:  *streamBuffer,

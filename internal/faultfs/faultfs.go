@@ -1,0 +1,77 @@
+// Package faultfs is the filesystem seam under CounterPoint's durable
+// stores (internal/jobstore's journal, internal/perfdb's verdict store):
+// a minimal FS/File interface pair with a passthrough OS implementation
+// for production and a crash-simulating in-memory implementation (Mem)
+// for tests.
+//
+// The point of the seam is that durability claims are only testable if
+// the test can take the power away. Mem models exactly the failure
+// surface an append-only store cares about:
+//
+//   - a write/flush reaches the "OS buffer" (the file's volatile tail)
+//     but is NOT durable until Sync succeeds;
+//   - Crash simulates power loss: every byte since the last successful
+//     Sync is gone, optionally except a torn prefix of the final write
+//     (the partial page the disk happened to flush);
+//   - short writes, write errors and fsync errors can be injected
+//     deterministically, so retry/degradation paths are exercised on
+//     demand instead of waiting for a flaky disk.
+//
+// Stores written against FS run unchanged on the real filesystem (OS)
+// and under the fault harness, which is how the crash-consistency suites
+// in internal/jobstore and internal/perfdb pin "no acked record is ever
+// lost" without superuser tricks or real power cycles.
+package faultfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the slice of *os.File the durable stores need: sequential and
+// positional reads for load, appends for the write path, Sync for the
+// commit barrier, Truncate for torn-tail repair.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Seeker
+	io.Closer
+	// Sync makes every written byte durable (fsync). A store's record is
+	// "committed" only once Sync has returned nil.
+	Sync() error
+	// Truncate cuts the file to size — the repair primitive for torn
+	// tails.
+	Truncate(size int64) error
+	// Name returns the path the file was opened with.
+	Name() string
+}
+
+// FS opens, renames and removes files. Implementations must allow a file
+// to be reopened after a crash (a new process looking at what survived).
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath (the compaction
+	// commit step).
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the production FS: a passthrough to package os.
+type OS struct{}
+
+// OpenFile opens a real file.
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename renames a real file.
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove removes a real file.
+func (OS) Remove(name string) error { return os.Remove(name) }

@@ -46,6 +46,10 @@ type ExploreSpec struct {
 	// instead of pinning the corpus in a shared engine for the life of
 	// the process.
 	Engine *engine.Engine
+	// Wire is the declarative description this spec was built from
+	// (ExploreWire.Build sets it). It is what the durable journal records;
+	// a hand-assembled spec without it is not journal-recoverable.
+	Wire *ExploreWire
 }
 
 func (spec ExploreSpec) validate() error {
@@ -192,10 +196,17 @@ func exploreRunner(spec ExploreSpec, restore []*explore.Node) Runner {
 		}
 
 		// Forward search progress into the job's event log from a side
-		// goroutine so the search never blocks on a slow subscriber.
+		// goroutine so the search never blocks on a slow subscriber. The
+		// same goroutine accumulates committed nodes and checkpoints after
+		// each one (restored prefix included), so the durable journal
+		// tracks the frontier as it grows — a kill -9 between exit-path
+		// checkpoints still resumes from the last committed node. Node
+		// events arrive in sequential commit order regardless of Workers,
+		// so the incremental checkpoints match s.Nodes() prefixes exactly.
 		events := make(chan explore.Event, 16)
 		s.Events = events
 		drained := make(chan struct{})
+		committed := append([]*explore.Node(nil), restore...)
 		go func() {
 			defer close(drained)
 			for ev := range events {
@@ -209,6 +220,10 @@ func exploreRunner(spec ExploreSpec, restore []*explore.Node) Runner {
 					data.Node = &n
 				}
 				job.Emit(string(ev.Kind), data)
+				if ev.Kind == explore.EventNodeEvaluated && ev.Node != nil {
+					committed = append(committed, ev.Node)
+					job.SetCheckpoint(committed[:len(committed):len(committed)])
+				}
 			}
 		}()
 		// The checkpoint is the committed search graph. Taken on every exit

@@ -72,7 +72,43 @@ var (
 	// ErrQueueFull rejects a submission when MaxQueued jobs are already
 	// waiting — the manager's backpressure signal.
 	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrJournal wraps a journal failure on the submission path: the job
+	// was NOT accepted, because accepting it without a durable spec would
+	// silently downgrade the durability contract. Callers should retry
+	// later (the server maps it to 503 + Retry-After).
+	ErrJournal = errors.New("jobs: journal write failed")
 )
+
+// Journal receives every durable lifecycle transition of a manager's
+// jobs; internal/jobstore implements it over an append-only checksummed
+// file. JobSubmitted is the only call that can veto (a submission is
+// acked only once its spec is durable); the rest are best-effort — a
+// failing journal degrades to in-memory operation rather than stopping
+// running jobs (the store surfaces its own health separately).
+//
+// Specs are passed as submitted. A spec that implements
+//
+//	DurableSpec() (any, bool)
+//
+// is journaled via that wire form (ExploreSpec's closures, for example,
+// are rebuilt from ExploreWire on recovery); other specs are journaled
+// as-is if they marshal, or as null.
+type Journal interface {
+	// JobSubmitted records a new job. An error rejects the submission.
+	JobSubmitted(id, kind, resumedFrom string, created time.Time, spec any) error
+	// JobEvent records one appended event (terminal events included).
+	JobEvent(id string, ev Event)
+	// JobCheckpoint records the latest resumable state. Implementations
+	// may coalesce bursts; the pending checkpoint must still be made
+	// durable no later than the job's JobFinished record.
+	JobCheckpoint(id string, cp any)
+	// JobFinished records the terminal outcome. errMsg is empty on
+	// success.
+	JobFinished(id string, state State, errMsg string, result any, started, finished time.Time)
+	// JobRemoved records that a job left the retained ring (expiry or
+	// DELETE); recovery must not re-list it.
+	JobRemoved(id string)
+}
 
 // Default Options values.
 const (
@@ -100,6 +136,10 @@ type Options struct {
 	// RetainFor expires finished jobs even before the ring fills. 0 means
 	// DefaultRetainFor.
 	RetainFor time.Duration
+	// Journal, when set, receives every durable lifecycle transition
+	// (counterpointd wires internal/jobstore here behind -job-db). nil
+	// keeps the manager purely in-memory.
+	Journal Journal
 
 	// now is the test hook for retention-TTL clocks.
 	now func() time.Time
@@ -175,9 +215,31 @@ func (m *Manager) submit(kind string, run Runner, spec any, resumedFrom string) 
 		return nil, fmt.Errorf("%w (%d waiting)", ErrQueueFull, len(m.queue))
 	}
 	m.nextID++
+	id := fmt.Sprintf("j%06d", m.nextID)
+	created := m.opts.now()
+	m.mu.Unlock()
+
+	// Durability gate, outside m.mu (the journal fsyncs): the submission
+	// is acked only once its spec is on disk, so a crash can never lose a
+	// job the client was told exists. The ID is already reserved; a
+	// failed journal write burns it, which is harmless.
+	if m.opts.Journal != nil {
+		if err := m.opts.Journal.JobSubmitted(id, kind, resumedFrom, created, spec); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		if m.opts.Journal != nil {
+			m.opts.Journal.JobRemoved(id)
+		}
+		return nil, ErrClosed
+	}
 	ctx, cancel := context.WithCancel(m.ctx)
 	j := &Job{
-		ID:          fmt.Sprintf("j%06d", m.nextID),
+		ID:          id,
 		Kind:        kind,
 		ctx:         ctx,
 		cancel:      cancel,
@@ -185,9 +247,10 @@ func (m *Manager) submit(kind string, run Runner, spec any, resumedFrom string) 
 		state:       StateQueued,
 		wake:        make(chan struct{}),
 		start:       make(chan struct{}),
-		created:     m.opts.now(),
+		created:     created,
 		spec:        spec,
 		resumedFrom: resumedFrom,
+		journal:     m.opts.Journal,
 	}
 	m.jobs[j.ID] = j
 	m.order = append(m.order, j)
@@ -301,6 +364,9 @@ func (m *Manager) expireLocked() {
 	for _, j := range m.retained[:drop] {
 		dropped[j.ID] = true
 		delete(m.jobs, j.ID)
+		if m.opts.Journal != nil {
+			m.opts.Journal.JobRemoved(j.ID)
+		}
 	}
 	m.retained = append([]*Job(nil), m.retained[drop:]...)
 	keep := m.order[:0]
@@ -381,7 +447,87 @@ func (m *Manager) Remove(id string) error {
 			break
 		}
 	}
+	if m.opts.Journal != nil {
+		m.opts.Journal.JobRemoved(id)
+	}
 	return nil
+}
+
+// AdoptedJob is a terminal job reconstructed from a durable journal,
+// handed to Adopt by the recovery path (jobstore.Recover) so a restarted
+// daemon re-lists its pre-crash jobs with their original IDs, events and
+// results.
+type AdoptedJob struct {
+	ID          string
+	Kind        string
+	State       State // must be terminal
+	Error       string
+	Result      any
+	Spec        any
+	Checkpoint  any
+	Events      []Event
+	Created     time.Time
+	Started     time.Time
+	Finished    time.Time
+	ResumedFrom string
+}
+
+// Adopt installs a recovered terminal job into the manager's retained
+// ring without running anything. The job is marked restored in its
+// Status, keeps its journaled ID (the ID counter advances past it so new
+// submissions never collide), and behaves like any other finished job:
+// queryable, streamable (the journaled history replays), resumable via
+// Resume when its spec and checkpoint were rebuilt, and subject to the
+// ring's cap and TTL.
+func (m *Manager) Adopt(a AdoptedJob) (*Job, error) {
+	if !a.State.Terminal() {
+		return nil, fmt.Errorf("jobs: adopt %s: state %q is not terminal", a.ID, a.State)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, dup := m.jobs[a.ID]; dup {
+		return nil, fmt.Errorf("jobs: adopt %s: id already present", a.ID)
+	}
+	var n int
+	if _, err := fmt.Sscanf(a.ID, "j%06d", &n); err == nil && n > m.nextID {
+		m.nextID = n
+	}
+	// Pre-cancelled context: the job never runs, Cancel is a no-op.
+	ctx, cancel := context.WithCancel(m.ctx)
+	cancel()
+	var jerr error
+	if a.Error != "" {
+		jerr = errors.New(a.Error)
+	}
+	j := &Job{
+		ID:          a.ID,
+		Kind:        a.Kind,
+		ctx:         ctx,
+		cancel:      cancel,
+		journal:     m.opts.Journal,
+		restored:    true,
+		state:       a.State,
+		err:         jerr,
+		result:      a.Result,
+		events:      append([]Event(nil), a.Events...),
+		wake:        make(chan struct{}),
+		created:     a.Created,
+		started:     a.Started,
+		finished:    a.Finished,
+		checkpoint:  a.Checkpoint,
+		spec:        a.Spec,
+		resumedFrom: a.ResumedFrom,
+	}
+	m.jobs[j.ID] = j
+	m.order = append(m.order, j)
+	m.retained = append(m.retained, j)
+	// A job that outlived its TTL or the ring's cap while the daemon was
+	// down expires right here — normal retention, not an error.
+	m.expireLocked()
+	return j, nil
 }
 
 // Close cancels every job and waits for all runners to exit. Submissions
@@ -404,6 +550,10 @@ type Job struct {
 	cancel context.CancelFunc
 	run    Runner
 	start  chan struct{} // closed by the dispatcher when a slot is granted
+	// journal mirrors Manager.opts.Journal (nil when not durable);
+	// restored marks a job adopted from the journal after a restart.
+	journal  Journal
+	restored bool
 
 	mu          sync.Mutex
 	state       State
@@ -430,7 +580,10 @@ type Status struct {
 	Started     *time.Time `json:"started,omitempty"`
 	Finished    *time.Time `json:"finished,omitempty"`
 	ResumedFrom string     `json:"resumed_from,omitempty"`
-	Result      any        `json:"result,omitempty"`
+	// Restored marks a job recovered from the durable journal after a
+	// daemon restart (its events and result are the journaled history).
+	Restored bool `json:"restored,omitempty"`
+	Result   any  `json:"result,omitempty"`
 }
 
 // Status snapshots the job.
@@ -444,6 +597,7 @@ func (j *Job) Status() Status {
 		Events:      len(j.events),
 		Created:     j.created,
 		ResumedFrom: j.resumedFrom,
+		Restored:    j.restored,
 		Result:      j.result,
 	}
 	if j.err != nil {
@@ -497,7 +651,11 @@ func (j *Job) Emit(kind string, data any) {
 	if j.state.Terminal() {
 		return
 	}
-	j.events = append(j.events, Event{Seq: len(j.events), Kind: kind, Data: data})
+	ev := Event{Seq: len(j.events), Kind: kind, Data: data}
+	j.events = append(j.events, ev)
+	if j.journal != nil {
+		j.journal.JobEvent(j.ID, ev)
+	}
 	j.broadcastLocked()
 }
 
@@ -509,6 +667,12 @@ func (j *Job) SetCheckpoint(cp any) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	j.checkpoint = cp
+	if j.journal != nil {
+		// The journal may coalesce bursts (sweeps checkpoint per cell);
+		// the contract is only that the latest checkpoint is durable by
+		// the time the terminal record is.
+		j.journal.JobCheckpoint(j.ID, cp)
+	}
 }
 
 // Checkpoint returns the latest checkpoint recorded with SetCheckpoint.
@@ -554,11 +718,24 @@ func (j *Job) finalize(res any, err error, now time.Time) {
 	if err != nil {
 		data = map[string]string{"error": err.Error()}
 	}
-	j.events = append(j.events, Event{Seq: len(j.events), Kind: string(state), Data: data})
+	ev := Event{Seq: len(j.events), Kind: string(state), Data: data}
+	j.events = append(j.events, ev)
 	j.state = state
 	j.err = err
 	j.result = res
 	j.finished = now
+	if j.journal != nil {
+		// The terminal record is the commit point: the journal flushes any
+		// coalesced checkpoint and fsyncs here, so the panic/cancel exit
+		// paths (which SetCheckpoint before unwinding into finalize) land
+		// their final frontier durably.
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		j.journal.JobEvent(j.ID, ev)
+		j.journal.JobFinished(j.ID, state, errMsg, res, j.started, now)
+	}
 	j.broadcastLocked()
 }
 

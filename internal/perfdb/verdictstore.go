@@ -12,6 +12,13 @@ package perfdb
 // key's verdict is a pure function of its content, duplicates can never
 // disagree. counterpointd opens one with -verdict-db and wires it into
 // the engine via engine.WithVerdictStore.
+//
+// Durability contract: Put acks a verdict only after it has been flushed
+// AND fsynced (Sync) — the OS buffer alone does not survive power loss,
+// and an acked-then-lost verdict would silently re-solve on the next
+// boot, or worse, disagree with a peer that trusted the ack. The store
+// runs on a faultfs.FS so the crash-consistency suite can pull the plug
+// between flush and fsync and pin that contract.
 
 import (
 	"bufio"
@@ -20,6 +27,8 @@ import (
 	"os"
 	"strings"
 	"sync"
+
+	"repro/internal/faultfs"
 )
 
 // VerdictStore is a concurrency-safe, file-backed map from canonical LP
@@ -27,17 +36,23 @@ import (
 type VerdictStore struct {
 	mu     sync.Mutex
 	m      map[[32]byte]bool
-	f      *os.File
+	f      faultfs.File
 	w      *bufio.Writer
 	closed bool
 }
 
-// OpenVerdictStore opens (creating if needed) the store at path and loads
-// every well-formed record. Malformed or torn lines — a crash mid-append,
-// a truncated copy — are skipped, not fatal: losing a cached verdict only
-// costs a re-solve.
+// OpenVerdictStore opens (creating if needed) the store at path on the
+// real filesystem.
 func OpenVerdictStore(path string) (*VerdictStore, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	return OpenVerdictStoreFS(faultfs.OS{}, path)
+}
+
+// OpenVerdictStoreFS opens (creating if needed) the store at path on
+// fsys and loads every well-formed record. Malformed or torn lines — a
+// crash mid-append, a truncated copy — are skipped, not fatal: losing a
+// cached verdict only costs a re-solve.
+func OpenVerdictStoreFS(fsys faultfs.FS, path string) (*VerdictStore, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("perfdb: open verdict store: %w", err)
 	}
@@ -109,8 +124,11 @@ func (s *VerdictStore) Get(key [32]byte) (bool, bool) {
 	return v, ok
 }
 
-// Put records the verdict for key, appending it to the log. Duplicate
-// puts of a known key are deduplicated in memory and on disk.
+// Put records the verdict for key and commits it: the record is
+// appended, flushed, and fsynced before Put returns nil, so an acked
+// verdict survives power loss. The fsync is per fresh verdict, which is
+// noise next to the LP solve that produced it. Duplicate puts of a known
+// key are deduplicated in memory and on disk (and cost no I/O at all).
 func (s *VerdictStore) Put(key [32]byte, verdict bool) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -133,7 +151,7 @@ func (s *VerdictStore) Put(key [32]byte, verdict bool) error {
 	if _, err := s.w.Write(line[:]); err != nil {
 		return fmt.Errorf("perfdb: append verdict: %w", err)
 	}
-	return nil
+	return s.syncLocked()
 }
 
 // Len reports how many verdicts the store holds.
@@ -143,7 +161,9 @@ func (s *VerdictStore) Len() int {
 	return len(s.m)
 }
 
-// Flush forces buffered appends to the operating system.
+// Flush forces buffered appends to the operating system. It does NOT
+// fsync — a flushed-but-unsynced record can still be lost to power
+// failure; use Sync for the durability barrier.
 func (s *VerdictStore) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -156,8 +176,29 @@ func (s *VerdictStore) Flush() error {
 	return nil
 }
 
-// Close flushes and closes the backing file. The store rejects writes
-// afterwards; Close is idempotent.
+// Sync flushes buffered appends and fsyncs the backing file: after a nil
+// return every previously appended verdict survives a crash.
+func (s *VerdictStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.syncLocked()
+}
+
+func (s *VerdictStore) syncLocked() error {
+	if err := s.w.Flush(); err != nil {
+		return fmt.Errorf("perfdb: flush verdict store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("perfdb: sync verdict store: %w", err)
+	}
+	return nil
+}
+
+// Close flushes, syncs, and closes the backing file. The store rejects
+// writes afterwards; Close is idempotent.
 func (s *VerdictStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -165,10 +206,18 @@ func (s *VerdictStore) Close() error {
 		return nil
 	}
 	s.closed = true
-	ferr := s.w.Flush()
+	serr := func() error {
+		if err := s.w.Flush(); err != nil {
+			return fmt.Errorf("perfdb: flush verdict store: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("perfdb: sync verdict store: %w", err)
+		}
+		return nil
+	}()
 	cerr := s.f.Close()
-	if ferr != nil {
-		return fmt.Errorf("perfdb: flush verdict store: %w", ferr)
+	if serr != nil {
+		return serr
 	}
 	if cerr != nil {
 		return fmt.Errorf("perfdb: close verdict store: %w", cerr)

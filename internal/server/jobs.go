@@ -27,10 +27,8 @@ import (
 	"net/http"
 	"strconv"
 
-	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/explore"
-	"repro/internal/haswell"
 	"repro/internal/jobs"
 )
 
@@ -59,7 +57,7 @@ type exploreRequestJSON struct {
 
 // CatalogHaswellMMU is the catalogue exploration space: the Table 3
 // feature axes over the simulated Haswell MMU (haswell.SearchUniverse).
-const CatalogHaswellMMU = "haswell-mmu"
+const CatalogHaswellMMU = jobs.CatalogHaswellMMU
 
 type submitJSON struct {
 	jobs.Status
@@ -68,6 +66,9 @@ type submitJSON struct {
 }
 
 func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.durableOK(w) {
+		return
+	}
 	var req exploreRequestJSON
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
@@ -78,9 +79,15 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	spec := jobs.ExploreSpec{
-		Corpus:             req.Observations,
+	// The wire form is both what Build resolves into a runnable spec and
+	// what the durable journal records — a crashed daemon rebuilds this
+	// exact search from it.
+	wire := jobs.ExploreWire{
+		Source:             req.Source,
+		Catalog:            req.Catalog,
+		Candidates:         req.Candidates,
 		Initial:            req.Initial,
+		Observations:       req.Observations,
 		Confidence:         cfg.Confidence,
 		Mode:               cfg.Mode,
 		IdentifyViolations: cfg.IdentifyViolations,
@@ -89,58 +96,9 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 		Workers:            req.Workers,
 		SkipElimination:    req.Eliminate != nil && !*req.Eliminate,
 	}
-
-	var universe []string
-	switch {
-	case req.Source != "" && req.Catalog != "":
-		writeError(w, http.StatusBadRequest, "request must set exactly one of source and catalog, not both")
-		return
-	case req.Source != "":
-		spec.Builder, universe, err = explore.TemplateBuilder("explore", req.Source, nil)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		if len(req.Observations) == 0 {
-			writeError(w, http.StatusBadRequest, "template explorations need an uploaded corpus (observations)")
-			return
-		}
-	case req.Catalog == CatalogHaswellMMU:
-		universe = haswell.SearchUniverse()
-		set := haswell.AnalysisSet()
-		spec.Builder = func(fs explore.FeatureSet) (*core.Model, error) {
-			f := haswell.SearchFeatures(func(name string) bool { return fs[name] })
-			return haswell.BuildModel("search:"+fs.Key(), f, set)
-		}
-		if len(req.Observations) == 0 {
-			// Simulated corpus, built inside the job: hardware simulation
-			// takes far too long to block the submission response on. The
-			// simulator itself is not context-aware, so it runs on a side
-			// goroutine and a cancelled job abandons it (freeing the job
-			// slot; the goroutine finishes its simulation and exits).
-			spec.CorpusFunc = func(ctx context.Context) ([]*counters.Observation, error) {
-				type built struct {
-					obs []*counters.Observation
-					err error
-				}
-				ch := make(chan built, 1)
-				go func() {
-					obs, err := haswell.BuildCorpus(haswell.QuickCorpusSpec())
-					ch <- built{obs, err}
-				}()
-				select {
-				case b := <-ch:
-					return b.obs, b.err
-				case <-ctx.Done():
-					return nil, ctx.Err()
-				}
-			}
-		}
-	case req.Catalog != "":
-		writeError(w, http.StatusBadRequest, "unknown catalog %q (want %q)", req.Catalog, CatalogHaswellMMU)
-		return
-	default:
-		writeError(w, http.StatusBadRequest, "request must set source (a DSL template) or catalog")
+	spec, universe, err := wire.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
@@ -153,10 +111,6 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "unknown feature %q (template/catalogue defines %v)", f, universe)
 			return
 		}
-	}
-	spec.Candidates = req.Candidates
-	if len(spec.Candidates) == 0 {
-		spec.Candidates = universe
 	}
 
 	// Validate the corpus against the searched space's maximal model —
@@ -190,6 +144,10 @@ func (s *Server) handleExploreSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j, err := s.jobs.SubmitExplore(spec)
 	if err != nil {
+		if errors.Is(err, jobs.ErrJournal) {
+			s.writeJournalError(w, err)
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, jobs.ErrClosed) || errors.Is(err, jobs.ErrQueueFull) {
 			status = http.StatusServiceUnavailable
@@ -273,6 +231,9 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobResume(w http.ResponseWriter, r *http.Request) {
+	if !s.durableOK(w) {
+		return
+	}
 	j, ok := s.lookupJob(w, r)
 	if !ok {
 		return
@@ -281,6 +242,10 @@ func (s *Server) handleJobResume(w http.ResponseWriter, r *http.Request) {
 	// endpoint serves every resumable job family.
 	nj, err := s.jobs.Resume(j.ID)
 	if err != nil {
+		if errors.Is(err, jobs.ErrJournal) {
+			s.writeJournalError(w, err)
+			return
+		}
 		status := http.StatusConflict
 		if errors.Is(err, jobs.ErrUnknownJob) {
 			status = http.StatusNotFound

@@ -68,6 +68,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/engine"
 	"repro/internal/jobs"
+	"repro/internal/jobstore"
 	"repro/internal/stats"
 )
 
@@ -101,6 +102,12 @@ type Options struct {
 	// one explicitly to tune concurrency/retention and to Close it on
 	// shutdown (counterpointd does).
 	Jobs *jobs.Manager
+	// JobStore is the durable journal behind Jobs (counterpointd's
+	// -job-db). When set, /healthz and /stats surface its health, and new
+	// durable submissions are shed with 503 + Retry-After while the store
+	// is degraded — the daemon itself keeps serving reads and running
+	// jobs from memory. nil means jobs are memory-only.
+	JobStore *jobstore.Store
 	// MaxSweepCells caps the expanded grid size a POST /v1/sweep request
 	// may submit; 0 means DefaultMaxSweepCells.
 	MaxSweepCells int
@@ -132,6 +139,7 @@ type Server struct {
 	bodyLimit int64
 	mux       *http.ServeMux
 	jobs      *jobs.Manager
+	store     *jobstore.Store
 	streams   *streamManager
 
 	maxSweepCells int
@@ -146,6 +154,7 @@ func New(opts Options) *Server {
 		bodyLimit: opts.MaxBodyBytes,
 		mux:       http.NewServeMux(),
 		jobs:      opts.Jobs,
+		store:     opts.JobStore,
 
 		maxSweepCells: opts.MaxSweepCells,
 	}
@@ -247,6 +256,43 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(v)
+}
+
+// durableOK gates endpoints that would journal new work (submit,
+// resume). While the durable store is degraded the daemon keeps serving
+// reads and running jobs from memory, but accepting a submission it
+// cannot journal would silently break the crash-safety contract — so it
+// sheds the request with 503 and a Retry-After matching the store's next
+// reopen probe.
+func (s *Server) durableOK(w http.ResponseWriter) bool {
+	if s.store == nil || !s.store.Degraded() {
+		return true
+	}
+	h := s.store.Health()
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(h.RetryInMS)))
+	writeError(w, http.StatusServiceUnavailable, "durable job store degraded: %s", h.LastError)
+	return false
+}
+
+// writeJournalError maps a jobs.ErrJournal submission failure — the
+// journal write that would have made the job durable failed — to the
+// same 503 + Retry-After contract as durableOK.
+func (s *Server) writeJournalError(w http.ResponseWriter, err error) {
+	retry := 1
+	if s.store != nil {
+		retry = retryAfterSeconds(s.store.Health().RetryInMS)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeError(w, http.StatusServiceUnavailable, "%v", err)
+}
+
+// retryAfterSeconds rounds a probe countdown up to whole seconds, with a
+// floor of 1 so clients never busy-loop on Retry-After: 0.
+func retryAfterSeconds(ms int64) int {
+	if ms <= 0 {
+		return 1
+	}
+	return int((ms + 999) / 1000)
 }
 
 // lookup resolves the {name} path value to a compiled model, writing the
@@ -377,17 +423,31 @@ type healthJSON struct {
 	Regions int    `json:"cached_regions"`
 	Jobs    int    `json:"jobs"`
 	Streams int    `json:"streams"`
+	// Durable reports whether a job journal is attached; Degraded carries
+	// the store's failure detail (last error, probe countdown, drop
+	// count) while it is shedding durable work — and flips Status to
+	// "degraded", since acked submissions are temporarily not crash-safe.
+	Durable  bool             `json:"durable"`
+	Degraded *jobstore.Health `json:"degraded,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, healthJSON{
+	h := healthJSON{
 		Status:  "ok",
 		Models:  s.reg.Len(),
 		Workers: s.eng.Workers(),
 		Regions: s.eng.Regions().Len(),
 		Jobs:    s.jobs.Len(),
 		Streams: s.streams.stats().Active,
-	})
+		Durable: s.store != nil,
+	}
+	if s.store != nil {
+		if sh := s.store.Health(); sh.State != "ok" {
+			h.Status = "degraded"
+			h.Degraded = &sh
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
 }
 
 // --- GET /stats ---
@@ -410,14 +470,17 @@ type statsJSON struct {
 	// counts, ingest/verdict/drop totals, the deepest queue observed and
 	// aggregate ingest→verdict latency.
 	Streams StreamCounts `json:"streams"`
-	Models  int          `json:"models"`
-	Workers int          `json:"workers"`
-	Regions int          `json:"cached_regions"`
+	// Jobstore reports the durable journal (append/fsync/retry totals,
+	// compactions, degradations, torn-tail repairs) when one is attached.
+	Jobstore *jobstore.Counts `json:"jobstore,omitempty"`
+	Models   int              `json:"models"`
+	Workers  int              `json:"workers"`
+	Regions  int              `json:"cached_regions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	counts := s.eng.SolverStats()
-	writeJSON(w, http.StatusOK, statsJSON{
+	out := statsJSON{
 		SolverCounts:   counts,
 		FilterHits:     counts.FilterHits(),
 		MeanWarmPivots: counts.MeanWarmPivots(),
@@ -427,7 +490,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Models:         s.reg.Len(),
 		Workers:        s.eng.Workers(),
 		Regions:        s.eng.Regions().Len(),
-	})
+	}
+	if s.store != nil {
+		sc := s.store.Stats()
+		out.Jobstore = &sc
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // --- GET /v1/models ---

@@ -67,6 +67,9 @@ func sweepAxis(name string, vals []int) ([]uint8, error) {
 }
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.durableOK(w) {
+		return
+	}
 	var req sweepRequestJSON
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decode request: %v", err)
@@ -141,6 +144,10 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 		Engine: s.eng,
 	})
 	if err != nil {
+		if errors.Is(err, jobs.ErrJournal) {
+			s.writeJournalError(w, err)
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, jobs.ErrClosed) || errors.Is(err, jobs.ErrQueueFull) {
 			status = http.StatusServiceUnavailable
